@@ -1,0 +1,49 @@
+"""Figure 5 reproduction: mean/std of L_smo across clips for the three
+BiSMO variants.
+
+Paper shape: NMN has the best mean; CG shows the largest standard
+deviation (its occasional instability on indefinite inner Hessians).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.harness import RunSettings, figure5_stats
+from repro.layouts import dataset_by_name
+
+from conftest import BENCH_SCALE
+
+FIG5_CLIPS = int(os.environ.get("BISMO_BENCH_FIG5_CLIPS", "2"))
+FIG5_STEPS = int(os.environ.get("BISMO_BENCH_FIG5_STEPS", "40"))
+
+
+@pytest.mark.parametrize("dataset_name", ["ICCAD13", "ICCAD-L"])
+def test_figure5_mean_std(benchmark, dataset_name):
+    ds = dataset_by_name(dataset_name, num_clips=FIG5_CLIPS)
+    settings = RunSettings.preset(BENCH_SCALE, iterations=FIG5_STEPS)
+
+    stats = benchmark.pedantic(
+        lambda: figure5_stats(
+            ds, settings, clips=FIG5_CLIPS, step_window=(FIG5_STEPS // 3, FIG5_STEPS)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 5 ({dataset_name}) — L_smo over steps "
+          f"{FIG5_STEPS // 3}-{FIG5_STEPS}:")
+    print(f"{'method':12s} {'mean(final)':>14s} {'std(final)':>12s} {'std(avg)':>12s}")
+    for method, data in stats.items():
+        mean_f = float(data["mean"][-1])
+        std_f = float(data["std"][-1])
+        std_avg = float(np.mean(data["std"]))
+        print(f"{method:12s} {mean_f:14.0f} {std_f:12.0f} {std_avg:12.0f}")
+        benchmark.extra_info[f"{method} mean"] = mean_f
+        benchmark.extra_info[f"{method} std"] = std_avg
+
+    for data in stats.values():
+        assert np.all(np.isfinite(data["mean"]))
+        assert np.all(data["std"] >= 0)

@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark suite.
+
+Every paper table/figure has a bench module here.  Scale knobs come from
+the environment so the same suite serves quick CI runs and full-quality
+reproductions:
+
+* ``BISMO_BENCH_SCALE``  — optical preset (default ``small``; use
+  ``default`` for the 128-px reproduction-quality run, ``paper`` for the
+  full 2048-px configuration).
+* ``BISMO_BENCH_CLIPS``  — clips per dataset (default 1).
+* ``BISMO_BENCH_ITERS``  — iteration budget per method (default 25).
+
+The (method x dataset x clip) sweep backing Table 3 and Table 4 is
+computed once per session and shared.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import METHOD_ORDER, RunSettings, run_matrix
+from repro.layouts import dataset_by_name, DATASET_NAMES
+
+BENCH_SCALE = os.environ.get("BISMO_BENCH_SCALE", "small")
+BENCH_CLIPS = int(os.environ.get("BISMO_BENCH_CLIPS", "1"))
+BENCH_ITERS = int(os.environ.get("BISMO_BENCH_ITERS", "25"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunSettings:
+    return RunSettings.preset(BENCH_SCALE, iterations=BENCH_ITERS)
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    return [dataset_by_name(name, num_clips=BENCH_CLIPS) for name in DATASET_NAMES]
+
+
+@pytest.fixture(scope="session")
+def matrix_records(settings, datasets):
+    """The shared Table 3 / Table 4 sweep (all eight methods)."""
+    return run_matrix(
+        datasets,
+        settings,
+        methods=METHOD_ORDER,
+        clips_per_dataset=BENCH_CLIPS,
+    )

@@ -1,0 +1,7 @@
+"""Legacy setup shim — the offline environment lacks the ``wheel`` package,
+so editable installs go through ``setup.py develop`` (metadata lives in
+``pyproject.toml``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,519 @@
+"""Differentiable functional ops for :mod:`repro.autodiff`.
+
+Every op follows the same pattern: compute the forward result with numpy,
+then (if grad mode is on and any input requires grad) attach a VJP closure.
+VJP closures are written **in terms of these same functional ops**, so a
+backward pass executed with graph recording enabled (``create_graph=True``
+in :func:`repro.autodiff.grad.grad`) is itself differentiable.  That
+property is what gives BiSMO-NMN / BiSMO-CG exact Hessian-vector products.
+
+Complex gradients use the convention ``grad(z) = dL/dRe(z) + 1j*dL/dIm(z)``
+for a real-valued loss ``L``; under this convention the VJP of a
+holomorphic op ``f`` is ``g * conj(f'(z))`` and the VJP of a complex-linear
+map ``A`` is ``A^H g``.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "tensor",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "ones_like",
+    "identity",
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "div",
+    "power",
+    "exp",
+    "log",
+    "sqrt",
+    "sin",
+    "cos",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "sum",
+    "mean",
+    "reshape",
+    "broadcast_to",
+    "real",
+    "imag",
+    "conj",
+    "abs2",
+    "absolute",
+    "make_complex",
+    "fft2",
+    "ifft2",
+    "getitem",
+    "scatter",
+    "matmul",
+    "dot",
+    "sum_to",
+    "clip_for_stability",
+]
+
+ArrayLike = Union[Tensor, np.ndarray, float, int, complex, list, tuple]
+
+
+# ----------------------------------------------------------------------
+# construction helpers
+# ----------------------------------------------------------------------
+def tensor(data: Any, requires_grad: bool = False) -> Tensor:
+    """Create a new leaf tensor from ``data``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, dtype=np.float64) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype))
+
+
+def ones(shape, dtype=np.float64) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype))
+
+
+def zeros_like(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    return Tensor(np.zeros_like(x.data))
+
+
+def ones_like(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    return Tensor(np.ones_like(x.data))
+
+
+def _make(
+    out_data: np.ndarray,
+    inputs: Tuple[Tensor, ...],
+    vjp,
+    op: str,
+) -> Tensor:
+    """Assemble an op output, recording the graph edge when appropriate."""
+    requires = is_grad_enabled() and builtins.any(t.requires_grad for t in inputs)
+    if requires:
+        return Tensor(out_data, requires_grad=True, _inputs=inputs, _vjp=vjp, _op=op)
+    return Tensor(out_data)
+
+
+# ----------------------------------------------------------------------
+# broadcasting support
+# ----------------------------------------------------------------------
+def sum_to(x: Tensor, shape: Tuple[int, ...]) -> Tensor:
+    """Reduce ``x`` by summation so its shape becomes ``shape``.
+
+    This is the adjoint of numpy broadcasting and is used by every binary
+    op's VJP; it is built from ``sum``/``reshape`` so it stays
+    differentiable.
+    """
+    x = as_tensor(x)
+    if x.shape == tuple(shape):
+        return x
+    ndim_extra = x.ndim - len(shape)
+    if ndim_extra < 0:
+        raise ValueError(f"cannot sum_to from {x.shape} to {shape}")
+    axes = tuple(range(ndim_extra)) + tuple(
+        i + ndim_extra for i, n in enumerate(shape) if n == 1 and x.shape[i + ndim_extra] != 1
+    )
+    out = sum(x, axis=axes, keepdims=True) if axes else x
+    return reshape(out, tuple(shape))
+
+
+def _binary_inputs(a: ArrayLike, b: ArrayLike) -> Tuple[Tensor, Tensor]:
+    return as_tensor(a), as_tensor(b)
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+def identity(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (g,)
+
+    return _make(x.data.copy(), (x,), vjp, "identity")
+
+
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = _binary_inputs(a, b)
+
+    def vjp(g: Tensor):
+        return (sum_to(g, a.shape), sum_to(g, b.shape))
+
+    return _make(a.data + b.data, (a, b), vjp, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = _binary_inputs(a, b)
+
+    def vjp(g: Tensor):
+        return (sum_to(g, a.shape), sum_to(neg(g), b.shape))
+
+    return _make(a.data - b.data, (a, b), vjp, "sub")
+
+
+def neg(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (neg(g),)
+
+    return _make(-x.data, (x,), vjp, "neg")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = _binary_inputs(a, b)
+
+    def vjp(g: Tensor):
+        ga = sum_to(mul(g, conj(b)), a.shape)
+        gb = sum_to(mul(g, conj(a)), b.shape)
+        return (ga, gb)
+
+    return _make(a.data * b.data, (a, b), vjp, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = _binary_inputs(a, b)
+
+    def vjp(g: Tensor):
+        ga = sum_to(div(g, conj(b)), a.shape)
+        gb = sum_to(neg(mul(g, conj(div(a, mul(b, b))))), b.shape)
+        return (ga, gb)
+
+    return _make(a.data / b.data, (a, b), vjp, "div")
+
+
+def power(x: ArrayLike, p: float) -> Tensor:
+    """Elementwise ``x**p`` for a real scalar exponent ``p``."""
+    x = as_tensor(x)
+    p = float(p)
+
+    def vjp(g: Tensor):
+        return (mul(g, conj(mul(power(x, p - 1.0), p))),)
+
+    return _make(x.data**p, (x,), vjp, f"power[{p}]")
+
+
+# ----------------------------------------------------------------------
+# transcendental
+# ----------------------------------------------------------------------
+def exp(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.exp(x.data)
+
+    def vjp(g: Tensor):
+        return (mul(g, conj(exp(x))),)
+
+    return _make(out_data, (x,), vjp, "exp")
+
+
+def log(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (div(g, conj(x)),)
+
+    return _make(np.log(x.data), (x,), vjp, "log")
+
+
+def sqrt(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (div(g, conj(mul(sqrt(x), 2.0))),)
+
+    return _make(np.sqrt(x.data), (x,), vjp, "sqrt")
+
+
+def sin(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (mul(g, conj(cos(x))),)
+
+    return _make(np.sin(x.data), (x,), vjp, "sin")
+
+
+def cos(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (neg(mul(g, conj(sin(x)))),)
+
+    return _make(np.cos(x.data), (x,), vjp, "cos")
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        t = tanh(x)
+        return (mul(g, conj(sub(1.0, mul(t, t)))),)
+
+    return _make(np.tanh(x.data), (x,), vjp, "tanh")
+
+
+def sigmoid(x: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid ``1 / (1 + exp(-x))``."""
+    x = as_tensor(x)
+    if x.is_complex:
+        raise TypeError("sigmoid expects a real tensor")
+    out_data = _stable_sigmoid(x.data)
+
+    def vjp(g: Tensor):
+        s = sigmoid(x)
+        return (mul(g, mul(s, sub(1.0, s))),)
+
+    return _make(out_data, (x,), vjp, "sigmoid")
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def relu(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    if x.is_complex:
+        raise TypeError("relu expects a real tensor")
+    mask = (x.data > 0).astype(np.float64)
+
+    def vjp(g: Tensor):
+        return (mul(g, Tensor(mask)),)
+
+    return _make(x.data * mask, (x,), vjp, "relu")
+
+
+def clip_for_stability(x: ArrayLike, lo: float, hi: float) -> Tensor:
+    """Clip values, passing gradients straight through (identity VJP).
+
+    Used to guard sigmoid steepness products against overflow without
+    killing gradients at the rails.
+    """
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (g,)
+
+    return _make(np.clip(x.data, lo, hi), (x,), vjp, "clip_st")
+
+
+# ----------------------------------------------------------------------
+# reductions & shaping
+# ----------------------------------------------------------------------
+def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    x = as_tensor(x)
+    out_data = np.sum(x.data, axis=axis, keepdims=keepdims)
+    in_shape = x.shape
+
+    def vjp(g: Tensor):
+        if axis is None:
+            return (broadcast_to(g, in_shape),)
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        axes = tuple(a % len(in_shape) for a in axes)
+        if keepdims:
+            mid = g
+        else:
+            kd_shape = tuple(
+                1 if i in axes else n for i, n in enumerate(in_shape)
+            )
+            mid = reshape(g, kd_shape)
+        return (broadcast_to(mid, in_shape),)
+
+    return _make(out_data, (x,), vjp, "sum")
+
+
+def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    x = as_tensor(x)
+    if axis is None:
+        count = x.size
+    else:
+        axes = (axis,) if isinstance(axis, int) else tuple(axis)
+        count = 1
+        for a in axes:
+            count *= x.shape[a % x.ndim]
+    return div(sum(x, axis=axis, keepdims=keepdims), float(count))
+
+
+def reshape(x: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    x = as_tensor(x)
+    in_shape = x.shape
+
+    def vjp(g: Tensor):
+        return (reshape(g, in_shape),)
+
+    return _make(x.data.reshape(shape), (x,), vjp, "reshape")
+
+
+def broadcast_to(x: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
+    x = as_tensor(x)
+    in_shape = x.shape
+
+    def vjp(g: Tensor):
+        return (sum_to(g, in_shape),)
+
+    return _make(np.broadcast_to(x.data, shape).copy(), (x,), vjp, "broadcast_to")
+
+
+# ----------------------------------------------------------------------
+# complex support
+# ----------------------------------------------------------------------
+def real(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (g,)
+
+    return _make(np.real(x.data).copy(), (x,), vjp, "real")
+
+
+def imag(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+
+    def vjp(g: Tensor):
+        return (mul(g, 1j),)
+
+    return _make(np.imag(x.data).copy(), (x,), vjp, "imag")
+
+
+def conj(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    if not x.is_complex:
+        return x
+
+    def vjp(g: Tensor):
+        return (conj(g),)
+
+    return _make(np.conj(x.data), (x,), vjp, "conj")
+
+
+def abs2(x: ArrayLike) -> Tensor:
+    """Squared magnitude ``|x|**2`` (real output, works for complex x)."""
+    x = as_tensor(x)
+    out_data = (x.data * np.conj(x.data)).real
+
+    def vjp(g: Tensor):
+        return (mul(mul(g, 2.0), x),)
+
+    return _make(out_data, (x,), vjp, "abs2")
+
+
+def absolute(x: ArrayLike) -> Tensor:
+    """``|x|`` built from differentiable primitives (non-smooth at 0)."""
+    return sqrt(add(abs2(x), 1e-30))
+
+
+def make_complex(re: ArrayLike, im: ArrayLike) -> Tensor:
+    re_t, im_t = _binary_inputs(re, im)
+
+    def vjp(g: Tensor):
+        return (real(g), imag(g))
+
+    return _make(re_t.data + 1j * im_t.data, (re_t, im_t), vjp, "make_complex")
+
+
+# ----------------------------------------------------------------------
+# FFTs (always over the last two axes, numpy "backward" normalization)
+# ----------------------------------------------------------------------
+def fft2(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    ntot = x.shape[-1] * x.shape[-2]
+
+    def vjp(g: Tensor):
+        return (mul(ifft2(g), float(ntot)),)
+
+    return _make(np.fft.fft2(x.data), (x,), vjp, "fft2")
+
+
+def ifft2(x: ArrayLike) -> Tensor:
+    x = as_tensor(x)
+    ntot = x.shape[-1] * x.shape[-2]
+
+    def vjp(g: Tensor):
+        return (div(fft2(g), float(ntot)),)
+
+    return _make(np.fft.ifft2(x.data), (x,), vjp, "ifft2")
+
+
+# ----------------------------------------------------------------------
+# indexing
+# ----------------------------------------------------------------------
+def getitem(x: ArrayLike, idx) -> Tensor:
+    x = as_tensor(x)
+    in_shape = x.shape
+    complex_in = x.is_complex
+
+    def vjp(g: Tensor):
+        return (scatter(g, idx, in_shape, complex_grad=complex_in),)
+
+    return _make(x.data[idx].copy(), (x,), vjp, "getitem")
+
+
+def scatter(
+    x: ArrayLike, idx, shape: Tuple[int, ...], complex_grad: bool = False
+) -> Tensor:
+    """Place ``x`` into a zeros array of ``shape`` at ``idx`` (adjoint of
+    :func:`getitem`)."""
+    x = as_tensor(x)
+    dtype = np.complex128 if (complex_grad or x.is_complex) else np.float64
+    out_data = np.zeros(shape, dtype=dtype)
+    np.add.at(out_data, idx, x.data)
+
+    def vjp(g: Tensor):
+        return (getitem(g, idx),)
+
+    return _make(out_data, (x,), vjp, "scatter")
+
+
+# ----------------------------------------------------------------------
+# linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """2-D matrix product with complex-aware VJPs."""
+    a, b = _binary_inputs(a, b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul supports 2-D operands only")
+
+    def vjp(g: Tensor):
+        ga = matmul(g, _transpose(conj(b)))
+        gb = matmul(_transpose(conj(a)), g)
+        return (ga, gb)
+
+    return _make(a.data @ b.data, (a, b), vjp, "matmul")
+
+
+def _transpose(x: Tensor) -> Tensor:
+    def vjp(g: Tensor):
+        return (_transpose(g),)
+
+    return _make(x.data.T.copy(), (x,), vjp, "transpose")
+
+
+def dot(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Real inner product ``sum(a * b)`` used by HVP helpers.
+
+    Operands are flattened; for complex operands this is
+    ``sum(Re(a)Re(b) + Im(a)Im(b))`` — the Euclidean inner product of the
+    underlying real vector space, which is the pairing that makes
+    grad/HVP compositions correct under our gradient convention.
+    """
+    a, b = _binary_inputs(a, b)
+    af = reshape(a, (a.size,))
+    bf = reshape(b, (b.size,))
+    if a.is_complex or b.is_complex:
+        return sum(real(mul(af, conj(bf))))
+    return sum(mul(af, bf))

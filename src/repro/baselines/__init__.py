@@ -1,0 +1,8 @@
+"""Published comparators rebuilt on this repo's substrates (see the
+substitution table in DESIGN.md): NILT-style Hopkins ILT and
+DAC23-MILT-style multi-level Hopkins ILT."""
+
+from .nilt import NILTBaseline
+from .milt import MultiLevelILT
+
+__all__ = ["NILTBaseline", "MultiLevelILT"]

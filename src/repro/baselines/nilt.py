@@ -1,0 +1,85 @@
+"""NILT-style baseline — stand-in for Neural-ILT [7].
+
+Neural-ILT couples a neural backbone with Hopkins-model ILT refinement
+and optimizes nominal printability (no process-window term).  The
+neural backbone cannot be reproduced offline (no training data or
+torch); its *algorithmic role* — producing a quick printability-driven
+mask from a Hopkins forward model — is played here by plain Hopkins ILT
+minimizing the nominal L2 loss only.  As in the paper's Table 3/4, this
+baseline lands clearly behind the process-window-aware methods, for the
+same structural reason: truncated SOCS + no PVB objective.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import functional as F
+from ..opt import make_optimizer
+from ..optics import HopkinsImaging, OpticalConfig
+from ..smo.objective import dose_resist
+from ..smo.parametrization import init_theta_mask, mask_from_theta
+from ..smo.state import IterationRecord, SMOResult
+
+__all__ = ["NILTBaseline"]
+
+
+class NILTBaseline:
+    """Hopkins ILT on the nominal-dose L2 objective only."""
+
+    method_name = "NILT"
+
+    def __init__(
+        self,
+        config: OpticalConfig,
+        target: np.ndarray,
+        source: np.ndarray,
+        lr: float = 0.1,
+        optimizer: str = "adam",
+        num_kernels: Optional[int] = None,
+    ):
+        self.config = config
+        self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
+        self.engine = HopkinsImaging(config, source, num_kernels)
+        self._opt = make_optimizer(optimizer, lr)
+
+    def _loss(self, theta_m: ad.Tensor) -> ad.Tensor:
+        mask = mask_from_theta(theta_m, self.config)
+        aerial = self.engine.aerial(mask)
+        z = dose_resist(aerial, self.config, 1.0)
+        # Nominal printability only — no PVB term (Neural-ILT's objective).
+        return F.mul(F.sum(F.power(F.sub(z, self.target), 2.0)), self.config.gamma)
+
+    def run(
+        self,
+        iterations: int = 50,
+        theta_m0: Optional[np.ndarray] = None,
+    ) -> SMOResult:
+        theta_m = (
+            init_theta_mask(self.target.data, self.config)
+            if theta_m0 is None
+            else np.array(theta_m0, dtype=np.float64, copy=True)
+        )
+        self._opt.reset()
+        history = []
+        start = time.perf_counter()
+        for it in range(iterations):
+            t0 = time.perf_counter()
+            tm = ad.Tensor(theta_m, requires_grad=True)
+            loss = self._loss(tm)
+            (gm,) = ad.grad(loss, [tm])
+            theta_m = self._opt.step(theta_m, gm.data)
+            history.append(
+                IterationRecord(it, float(loss.data), time.perf_counter() - t0, "mo")
+            )
+        return SMOResult(
+            method=self.method_name,
+            theta_m=theta_m,
+            theta_j=None,
+            history=history,
+            runtime_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,23 @@
+"""Layout geometry substrate: rectangles, rectilinear polygons,
+rasterization onto simulation grids, and EPE edge-site extraction."""
+
+from .rect import Rect, bounding_box, merge_touching, total_area
+from .polygon import RectilinearPolygon, decompose
+from .raster import GridSpec, downsample_binary, grid_to_rects, rasterize
+from .edges import EPESite, edge_sites, measure_epe
+
+__all__ = [
+    "Rect",
+    "bounding_box",
+    "total_area",
+    "merge_touching",
+    "RectilinearPolygon",
+    "decompose",
+    "GridSpec",
+    "rasterize",
+    "grid_to_rects",
+    "downsample_binary",
+    "EPESite",
+    "edge_sites",
+    "measure_epe",
+]

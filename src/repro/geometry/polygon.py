@@ -1,0 +1,102 @@
+"""Rectilinear polygon support for layout clip I/O.
+
+The ICCAD13 contest distributes clips as rectilinear polygons (GLP
+format); the simulators work on rectangles.  :func:`decompose` performs
+an exact scanline decomposition of a rectilinear polygon into
+non-overlapping rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .rect import Rect
+
+__all__ = ["RectilinearPolygon", "decompose"]
+
+
+@dataclass
+class RectilinearPolygon:
+    """A simple rectilinear polygon given by its vertex loop (nm coords).
+
+    Vertices must alternate horizontal/vertical edges; the loop is closed
+    implicitly (last vertex connects back to the first).
+    """
+
+    vertices: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 4:
+            raise ValueError("rectilinear polygon needs at least 4 vertices")
+        n = len(self.vertices)
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            if (x1 != x2) == (y1 != y2):
+                raise ValueError(
+                    f"edge {i} from {(x1, y1)} to {(x2, y2)} is not axis-aligned"
+                )
+
+    @classmethod
+    def from_rect(cls, r: Rect) -> "RectilinearPolygon":
+        return cls([(r.x1, r.y1), (r.x2, r.y1), (r.x2, r.y2), (r.x1, r.y2)])
+
+    def bounding_box(self) -> Rect:
+        xs = [v[0] for v in self.vertices]
+        ys = [v[1] for v in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def area(self) -> int:
+        """Shoelace area (positive regardless of orientation)."""
+        s = 0
+        n = len(self.vertices)
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            s += x1 * y2 - x2 * y1
+        return abs(s) // 2
+
+    def to_rects(self) -> List[Rect]:
+        return decompose(self)
+
+
+def decompose(poly: RectilinearPolygon) -> List[Rect]:
+    """Exact scanline decomposition into non-overlapping rectangles.
+
+    For each horizontal slab between consecutive distinct y coordinates,
+    the interior x-intervals are found by parity counting of crossing
+    vertical edges.
+    """
+    verts = poly.vertices
+    n = len(verts)
+    vertical_edges: List[Tuple[int, int, int]] = []  # (x, ylo, yhi)
+    for i in range(n):
+        x1, y1 = verts[i]
+        x2, y2 = verts[(i + 1) % n]
+        if x1 == x2 and y1 != y2:
+            vertical_edges.append((x1, min(y1, y2), max(y1, y2)))
+    ys = sorted({v[1] for v in verts})
+    rects: List[Rect] = []
+    for ylo, yhi in zip(ys[:-1], ys[1:]):
+        ymid = (ylo + yhi) / 2.0
+        crossings = sorted(x for x, e1, e2 in vertical_edges if e1 < ymid < e2)
+        if len(crossings) % 2:
+            raise ValueError("polygon is self-intersecting or malformed")
+        for xa, xb in zip(crossings[::2], crossings[1::2]):
+            rects.append(Rect(xa, ylo, xb, yhi))
+    return _merge_vertical(rects)
+
+
+def _merge_vertical(rects: List[Rect]) -> List[Rect]:
+    """Merge vertically adjacent rects with identical x-extents."""
+    rects = sorted(rects, key=lambda r: (r.x1, r.x2, r.y1))
+    out: List[Rect] = []
+    for r in rects:
+        if out:
+            p = out[-1]
+            if p.x1 == r.x1 and p.x2 == r.x2 and p.y2 == r.y1:
+                out[-1] = Rect(p.x1, p.y1, p.x2, r.y2)
+                continue
+        out.append(r)
+    return out

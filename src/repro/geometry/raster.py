@@ -1,0 +1,157 @@
+"""Rasterization of rectilinear layouts onto the simulation pixel grid.
+
+The lithography models in :mod:`repro.optics` operate on square pixel
+grids (the paper uses 2048x2048 pixels for a 4 um^2 tile).  This module
+converts nanometre-coordinate rectangles to such grids and back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = ["GridSpec", "rasterize", "grid_to_rects", "downsample_binary"]
+
+
+class GridSpec:
+    """Mapping between nanometre layout space and pixel grid space.
+
+    Parameters
+    ----------
+    size:
+        Number of pixels per side (grids are square, like the paper's
+        2048x2048 tiles).
+    pixel_nm:
+        Pixel pitch in nanometres.
+    origin_nm:
+        Layout coordinate of pixel (0, 0)'s lower-left corner.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        pixel_nm: float,
+        origin_nm: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if size <= 0:
+            raise ValueError("grid size must be positive")
+        if pixel_nm <= 0:
+            raise ValueError("pixel pitch must be positive")
+        self.size = int(size)
+        self.pixel_nm = float(pixel_nm)
+        self.origin_nm = (float(origin_nm[0]), float(origin_nm[1]))
+
+    @property
+    def extent_nm(self) -> float:
+        """Physical side length of the grid in nanometres."""
+        return self.size * self.pixel_nm
+
+    @property
+    def pixel_area_nm2(self) -> float:
+        return self.pixel_nm * self.pixel_nm
+
+    def to_pixels(self, x_nm: float, y_nm: float) -> Tuple[float, float]:
+        """Layout nm -> fractional (col, row) pixel coordinates."""
+        return (
+            (x_nm - self.origin_nm[0]) / self.pixel_nm,
+            (y_nm - self.origin_nm[1]) / self.pixel_nm,
+        )
+
+    def to_nm(self, col: float, row: float) -> Tuple[float, float]:
+        return (
+            self.origin_nm[0] + col * self.pixel_nm,
+            self.origin_nm[1] + row * self.pixel_nm,
+        )
+
+    def centered_on(self, rects: Sequence[Rect]) -> "GridSpec":
+        """Return a copy whose origin centres ``rects`` in the grid."""
+        from .rect import bounding_box
+
+        bb = bounding_box(rects)
+        cx, cy = bb.center
+        half = self.extent_nm / 2.0
+        return GridSpec(self.size, self.pixel_nm, (cx - half, cy - half))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"GridSpec(size={self.size}, pixel_nm={self.pixel_nm}, "
+            f"origin_nm={self.origin_nm})"
+        )
+
+
+def rasterize(rects: Iterable[Rect], grid: GridSpec, antialias: bool = True) -> np.ndarray:
+    """Rasterize rectangles to a float image in [0, 1].
+
+    ``out[row, col]`` is the covered fraction of pixel (row, col); with
+    ``antialias=False`` pixels are set to 1 when their centre is covered.
+    Rows index y, columns index x (image convention).
+    """
+    out = np.zeros((grid.size, grid.size), dtype=np.float64)
+    n = grid.size
+    for r in rects:
+        c1, r1 = grid.to_pixels(r.x1, r.y1)
+        c2, r2 = grid.to_pixels(r.x2, r.y2)
+        if c2 <= 0 or r2 <= 0 or c1 >= n or r1 >= n:
+            continue
+        c1, r1 = max(c1, 0.0), max(r1, 0.0)
+        c2, r2 = min(c2, float(n)), min(r2, float(n))
+        if not antialias:
+            ci1, ci2 = int(np.ceil(c1 - 0.5)), int(np.ceil(c2 - 0.5))
+            ri1, ri2 = int(np.ceil(r1 - 0.5)), int(np.ceil(r2 - 0.5))
+            out[max(ri1, 0) : ri2, max(ci1, 0) : ci2] = 1.0
+            continue
+        cov_c = _interval_coverage(c1, c2, n)
+        cov_r = _interval_coverage(r1, r2, n)
+        out += cov_r[:, None] * cov_c[None, :]
+    return np.clip(out, 0.0, 1.0)
+
+
+def _interval_coverage(a: float, b: float, n: int) -> np.ndarray:
+    """Per-cell covered length of interval [a, b] over unit cells [i, i+1)."""
+    idx = np.arange(n, dtype=np.float64)
+    return np.clip(np.minimum(b, idx + 1.0) - np.maximum(a, idx), 0.0, 1.0)
+
+
+def grid_to_rects(image: np.ndarray, grid: GridSpec, threshold: float = 0.5) -> List[Rect]:
+    """Vectorize a binary-ish image back to maximal horizontal-run rects.
+
+    Adjacent equal-width runs in consecutive rows are merged vertically,
+    producing a compact (not necessarily minimal) rect cover.  Used for
+    exporting optimized masks back to layout form.
+    """
+    binary = image >= threshold
+    n_rows, n_cols = binary.shape
+    open_runs: dict[Tuple[int, int], int] = {}
+    rects: List[Rect] = []
+    for row in range(n_rows + 1):
+        runs: List[Tuple[int, int]] = []
+        if row < n_rows:
+            cols = np.flatnonzero(binary[row])
+            if cols.size:
+                breaks = np.flatnonzero(np.diff(cols) > 1)
+                starts = np.concatenate(([0], breaks + 1))
+                ends = np.concatenate((breaks, [cols.size - 1]))
+                runs = [(int(cols[s]), int(cols[e]) + 1) for s, e in zip(starts, ends)]
+        next_open: dict[Tuple[int, int], int] = {}
+        for run in runs:
+            next_open[run] = open_runs.pop(run, row)
+        for (c1, c2), r0 in open_runs.items():
+            x1, y1 = grid.to_nm(c1, r0)
+            x2, y2 = grid.to_nm(c2, row)
+            rects.append(
+                Rect(int(round(x1)), int(round(y1)), int(round(x2)), int(round(y2)))
+            )
+        open_runs = next_open
+    return sorted(rects)
+
+
+def downsample_binary(image: np.ndarray, factor: int) -> np.ndarray:
+    """Block-average downsample (used by the multi-level ILT baseline)."""
+    n = image.shape[0]
+    if n % factor:
+        raise ValueError(f"grid size {n} not divisible by {factor}")
+    m = n // factor
+    return image.reshape(m, factor, m, factor).mean(axis=(1, 3))

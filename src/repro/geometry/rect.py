@@ -1,0 +1,151 @@
+"""Axis-aligned rectangle primitive used throughout the layout substrate.
+
+Coordinates are integer nanometres, half-open on the upper edges:
+a :class:`Rect` covers ``x1 <= x < x2`` and ``y1 <= y < y2``.  That
+convention makes rasterization and area accounting exact for rectilinear
+layouts (the ICCAD13 / ISPD19 clips the paper evaluates on are all
+rectilinear Metal/Via shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["Rect", "bounding_box", "total_area", "merge_touching"]
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Half-open axis-aligned rectangle in integer nanometres."""
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.x2 <= self.x1 or self.y2 <= self.y1:
+            raise ValueError(f"degenerate rect {self}")
+
+    @property
+    def width(self) -> int:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> int:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    def shifted(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def scaled(self, s: float) -> "Rect":
+        return Rect(
+            int(round(self.x1 * s)),
+            int(round(self.y1 * s)),
+            int(round(self.x2 * s)),
+            int(round(self.y2 * s)),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.x1 < other.x2
+            and other.x1 < self.x2
+            and self.y1 < other.y2
+            and other.y1 < self.y2
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 <= x1 or y2 <= y1:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x1 <= x < self.x2 and self.y1 <= y < self.y2
+
+    def expanded(self, margin: int) -> "Rect":
+        return Rect(self.x1 - margin, self.y1 - margin, self.x2 + margin, self.y2 + margin)
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Tight bounding box of a non-empty rect collection."""
+    rects = list(rects)
+    if not rects:
+        raise ValueError("bounding_box of empty collection")
+    return Rect(
+        min(r.x1 for r in rects),
+        min(r.y1 for r in rects),
+        max(r.x2 for r in rects),
+        max(r.y2 for r in rects),
+    )
+
+
+def total_area(rects: Iterable[Rect]) -> int:
+    """Union area of rectangles via sweep over unique x-intervals.
+
+    Exact for overlapping inputs; used to report clip area statistics
+    matching Table 2's "average area" column.
+    """
+    rects = list(rects)
+    if not rects:
+        return 0
+    xs = sorted({r.x1 for r in rects} | {r.x2 for r in rects})
+    area = 0
+    for xa, xb in zip(xs[:-1], xs[1:]):
+        spans: List[Tuple[int, int]] = sorted(
+            (r.y1, r.y2) for r in rects if r.x1 <= xa and r.x2 >= xb
+        )
+        if not spans:
+            continue
+        cov = 0
+        cur_lo, cur_hi = spans[0]
+        for lo, hi in spans[1:]:
+            if lo > cur_hi:
+                cov += cur_hi - cur_lo
+                cur_lo, cur_hi = lo, hi
+            else:
+                cur_hi = max(cur_hi, hi)
+        cov += cur_hi - cur_lo
+        area += cov * (xb - xa)
+    return area
+
+
+def merge_touching(rects: List[Rect]) -> List[Rect]:
+    """Greedy merge of rects that share a full edge (cleanup utility)."""
+    rects = sorted(rects)
+    merged = True
+    while merged:
+        merged = False
+        out: List[Rect] = []
+        used = [False] * len(rects)
+        for i, a in enumerate(rects):
+            if used[i]:
+                continue
+            cur = a
+            for j in range(i + 1, len(rects)):
+                if used[j]:
+                    continue
+                b = rects[j]
+                if cur.y1 == b.y1 and cur.y2 == b.y2 and cur.x2 == b.x1:
+                    cur = Rect(cur.x1, cur.y1, b.x2, cur.y2)
+                    used[j] = True
+                    merged = True
+                elif cur.x1 == b.x1 and cur.x2 == b.x2 and cur.y2 == b.y1:
+                    cur = Rect(cur.x1, cur.y1, cur.x2, b.y2)
+                    used[j] = True
+                    merged = True
+            out.append(cur)
+        rects = sorted(out)
+    return rects

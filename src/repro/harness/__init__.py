@@ -1,0 +1,34 @@
+"""Experiment harness: run (method x dataset) sweeps and regenerate every
+table and figure of the paper's evaluation section."""
+
+from .runner import (
+    METHOD_ORDER,
+    RunRecord,
+    RunSettings,
+    evaluate_final,
+    run_clip,
+    run_matrix,
+)
+from .tables import TableData, table3, table4
+from .figures import FIGURE3_METHODS, FigureSeries, figure3_series, figure5_stats
+from .report import ascii_plot, render_series, render_table, table_to_csv
+
+__all__ = [
+    "METHOD_ORDER",
+    "RunRecord",
+    "RunSettings",
+    "run_clip",
+    "run_matrix",
+    "evaluate_final",
+    "TableData",
+    "table3",
+    "table4",
+    "FigureSeries",
+    "FIGURE3_METHODS",
+    "figure3_series",
+    "figure5_stats",
+    "render_table",
+    "table_to_csv",
+    "render_series",
+    "ascii_plot",
+]

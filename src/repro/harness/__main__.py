@@ -1,0 +1,5 @@
+"""``python -m repro.harness`` == the ``bismo`` CLI."""
+
+from .cli import main
+
+raise SystemExit(main())

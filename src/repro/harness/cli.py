@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    bismo table3 --scale small --clips 2 --iterations 20
+    bismo table4 --scale default --clips 2
+    bismo fig3 --dataset ICCAD13 --steps 100
+    bismo fig5 --dataset ICCAD13 --clips 3
+    bismo all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..layouts import dataset_by_name, DATASET_NAMES
+from .figures import figure3_series, figure5_stats
+from .report import ascii_plot, render_series, render_table, table_to_csv
+from .runner import METHOD_ORDER, RunSettings, run_matrix
+from .tables import table3, table4
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bismo",
+        description="Regenerate BiSMO (DAC'24) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", default="small", help="optical preset: tiny/small/default/paper")
+        p.add_argument("--clips", type=int, default=2, help="clips per dataset")
+        p.add_argument("--iterations", type=int, default=30)
+        p.add_argument("--lr", type=float, default=0.1)
+        p.add_argument("--out", type=Path, default=None, help="directory for CSV output")
+        p.add_argument(
+            "--methods",
+            nargs="*",
+            default=None,
+            help=f"subset of methods (default: all of {', '.join(METHOD_ORDER)})",
+        )
+
+    for name in ("table3", "table4", "tables", "all"):
+        p = sub.add_parser(name)
+        common(p)
+
+    p3 = sub.add_parser("fig3")
+    common(p3)
+    p3.add_argument("--dataset", default="ICCAD13", choices=list(DATASET_NAMES))
+    p3.add_argument("--steps", type=int, default=100)
+    p3.add_argument("--clip-index", type=int, default=0)
+
+    p5 = sub.add_parser("fig5")
+    common(p5)
+    p5.add_argument("--dataset", default="ICCAD13", choices=list(DATASET_NAMES))
+
+    return parser
+
+
+def _settings(args: argparse.Namespace, iterations: Optional[int] = None) -> RunSettings:
+    return RunSettings.preset(
+        args.scale, iterations=iterations or args.iterations, lr=args.lr
+    )
+
+
+def _datasets(args: argparse.Namespace):
+    return [dataset_by_name(n, num_clips=max(args.clips, 1)) for n in DATASET_NAMES]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    out_dir: Optional[Path] = getattr(args, "out", None)
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.command in ("table3", "table4", "tables", "all"):
+        settings = _settings(args)
+        methods = args.methods or METHOD_ORDER
+        records = run_matrix(
+            _datasets(args),
+            settings,
+            methods=methods,
+            clips_per_dataset=args.clips,
+            progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+        )
+        if args.command in ("table3", "tables", "all"):
+            t3 = table3(records)
+            print(render_table(t3))
+            if out_dir:
+                table_to_csv(t3, out_dir / "table3.csv")
+        if args.command in ("table4", "tables", "all"):
+            t4 = table4(records)
+            print(render_table(t4))
+            if out_dir:
+                table_to_csv(t4, out_dir / "table4.csv")
+        return 0
+
+    if args.command == "fig3":
+        ds = dataset_by_name(args.dataset, num_clips=max(args.clip_index + 1, args.clips))
+        clip = ds[args.clip_index]
+        settings = _settings(args, iterations=args.steps)
+        settings = RunSettings(
+            config=settings.config, iterations=args.steps, lr=0.01
+        )
+        series = figure3_series(clip, settings, dataset_name=ds.name)
+        print(ascii_plot(series))
+        if out_dir:
+            (out_dir / "fig3.csv").write_text(render_series(series))
+        return 0
+
+    if args.command == "fig5":
+        ds = dataset_by_name(args.dataset, num_clips=args.clips)
+        settings = _settings(args, iterations=60)
+        stats = figure5_stats(ds, settings, clips=args.clips)
+        for method, data in stats.items():
+            mean = ", ".join(f"{v:.1f}" for v in data["mean"][:10])
+            std = ", ".join(f"{v:.1f}" for v in data["std"][:10])
+            print(f"{method}: mean[{mean} ...] std[{std} ...]")
+        if out_dir:
+            import csv
+
+            with open(out_dir / "fig5.csv", "w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(["method", "step", "mean", "std"])
+                for method, data in stats.items():
+                    for s, m, d in zip(data["steps"], data["mean"], data["std"]):
+                        writer.writerow([method, int(s), float(m), float(d)])
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Figure 3 / Figure 5 data-series generation.
+
+Figure 3: log10(L_smo) convergence traces of the MO methods (dashed in
+the paper) versus AM-SMO and the three BiSMO variants (solid) on one
+clip per dataset, 100 steps at learning rate 0.01.
+
+Figure 5: mean and standard deviation of L_smo across the clips of a
+dataset for BiSMO-FD/CG/NMN over the step window the paper plots
+(steps 20-60).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..layouts import Clip, Dataset
+from .runner import RunSettings, run_clip
+
+__all__ = ["FigureSeries", "figure3_series", "figure5_stats", "FIGURE3_METHODS"]
+
+#: Methods plotted in Figure 3 — dashed (MO) + solid (SMO) lines.
+FIGURE3_METHODS = (
+    "DAC23-MILT",
+    "Abbe-MO",
+    "AM-SMO(Abbe-Abbe)",
+    "BiSMO-FD",
+    "BiSMO-CG",
+    "BiSMO-NMN",
+)
+
+
+@dataclass
+class FigureSeries:
+    """Named x/y series ready for plotting or text rendering."""
+
+    label: str
+    steps: np.ndarray
+    values: np.ndarray
+    style: str = "solid"  # "dashed" for MO methods, as in the paper
+
+
+def figure3_series(
+    clip: Clip,
+    settings: RunSettings,
+    methods: Sequence[str] = FIGURE3_METHODS,
+    dataset_name: str = "",
+) -> List[FigureSeries]:
+    """Convergence traces (log10 L_smo vs optimization step) on one clip."""
+    out: List[FigureSeries] = []
+    for method in methods:
+        rec = run_clip(method, clip, settings, dataset_name)
+        losses = np.maximum(rec.losses, 1e-30)
+        style = "dashed" if method in ("NILT", "DAC23-MILT", "Abbe-MO") else "solid"
+        out.append(
+            FigureSeries(
+                label=method,
+                steps=np.arange(len(losses)),
+                values=np.log10(losses),
+                style=style,
+            )
+        )
+    return out
+
+
+def figure5_stats(
+    dataset: Dataset,
+    settings: RunSettings,
+    methods: Sequence[str] = ("BiSMO-FD", "BiSMO-CG", "BiSMO-NMN"),
+    clips: Optional[int] = None,
+    step_window: tuple[int, int] = (20, 60),
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Mean/std of L_smo across clips per method.
+
+    Returns ``{method: {"steps": ..., "mean": ..., "std": ...}}`` over
+    the plotted window (clipped to the available iterations).
+    """
+    use_clips = list(dataset)[: clips or len(dataset)]
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    for method in methods:
+        traces = []
+        for clip in use_clips:
+            rec = run_clip(method, clip, settings, dataset.name)
+            traces.append(rec.losses)
+        n = min(len(t) for t in traces)
+        stack = np.stack([t[:n] for t in traces])
+        lo = min(step_window[0], max(n - 1, 0))
+        hi = min(step_window[1], n)
+        steps = np.arange(lo, hi)
+        out[method] = {
+            "steps": steps,
+            "mean": stack[:, lo:hi].mean(axis=0),
+            "std": stack[:, lo:hi].std(axis=0),
+        }
+    return out

@@ -1,0 +1,244 @@
+"""Experiment runner: (method x clip) -> metric records.
+
+This is the engine behind every table/figure reproduction: it rasterizes
+a benchmark clip, runs one of the eight evaluated methods under a common
+iteration budget, evaluates the final (source, mask) pair under the
+*lossless Abbe* model (the common judge, as in the paper's evaluation),
+and returns L2 / PVB / EPE / runtime records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..baselines import MultiLevelILT, NILTBaseline
+from ..geometry import GridSpec, rasterize
+from ..layouts import Clip, Dataset
+from ..metrics import epe_report, l2_error_nm2, pvb_nm2
+from ..optics import AbbeImaging, OpticalConfig, SourceGrid, annular, binarize
+from ..smo import (
+    AMSMO,
+    AbbeMO,
+    AbbeSMOObjective,
+    BiSMO,
+    HopkinsMO,
+    SMOResult,
+    init_theta_source,
+)
+
+__all__ = ["MethodSpec", "RunRecord", "RunSettings", "METHOD_ORDER", "run_clip", "run_matrix"]
+
+#: Column order of Table 3 (left to right).
+METHOD_ORDER = (
+    "NILT",
+    "DAC23-MILT",
+    "Abbe-MO",
+    "AM-SMO(Abbe-Hopkins)",
+    "AM-SMO(Abbe-Abbe)",
+    "BiSMO-FD",
+    "BiSMO-CG",
+    "BiSMO-NMN",
+)
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Common experimental knobs shared by a whole table/figure run."""
+
+    config: OpticalConfig
+    iterations: int = 30
+    lr: float = 0.1
+    optimizer: str = "adam"
+    num_kernels: Optional[int] = None  # None -> config.socs_terms
+    unroll_steps: int = 3
+    terms: int = 5
+    cg_damping: float = 1.0
+    hvp_mode: str = "exact"
+
+    @classmethod
+    def preset(cls, scale: str = "default", **overrides) -> "RunSettings":
+        return cls(config=OpticalConfig.preset(scale), **overrides)
+
+
+@dataclass
+class RunRecord:
+    """One (method, clip) evaluation."""
+
+    method: str
+    dataset: str
+    clip: str
+    l2_nm2: float
+    pvb_nm2: float
+    epe_violations: int
+    epe_mean_nm: float
+    runtime_s: float
+    final_loss: float
+    losses: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+
+def _target_image(clip: Clip, config: OpticalConfig) -> np.ndarray:
+    if abs(clip.tile_nm - config.tile_nm) > 1e-9:
+        raise ValueError(
+            f"clip tile {clip.tile_nm} nm != optical tile {config.tile_nm} nm"
+        )
+    grid = GridSpec(config.mask_size, config.pixel_nm)
+    return binarize(rasterize(clip.rects, grid))
+
+
+def _annular_source(config: OpticalConfig) -> np.ndarray:
+    grid = SourceGrid.from_config(config)
+    return annular(grid, config.sigma_out, config.sigma_in)
+
+
+def _dispatch(
+    method: str, settings: RunSettings, target: np.ndarray, source: np.ndarray
+) -> SMOResult:
+    cfg = settings.config
+    iters = settings.iterations
+    common = dict(lr=settings.lr, optimizer=settings.optimizer)
+    if method == "NILT":
+        return NILTBaseline(
+            cfg, target, source, num_kernels=settings.num_kernels, **common
+        ).run(iterations=iters)
+    if method == "DAC23-MILT":
+        return MultiLevelILT(
+            cfg, target, source, num_kernels=settings.num_kernels, **common
+        ).run(iterations=iters)
+    if method == "Abbe-MO":
+        return AbbeMO(cfg, target, source, **common).run(iterations=iters)
+    if method == "Hopkins-MO":
+        return HopkinsMO(
+            cfg, target, source, num_kernels=settings.num_kernels, **common
+        ).run(iterations=iters)
+    if method.startswith("AM-SMO"):
+        mode = "abbe-hopkins" if "Hopkins" in method else "abbe-abbe"
+        # Budget normalization: every method gets the same number of MASK
+        # updates (the quantity that dominates final quality).  AM-SMO
+        # additionally spends SO steps and TCC rebuilds per round — the
+        # alternation overhead that Table 4 charges to its TAT.
+        so_steps, mo_steps = 5, 10
+        rounds = max(1, iters // mo_steps)
+        return AMSMO(
+            cfg,
+            target,
+            mode=mode,
+            rounds=rounds,
+            so_steps=so_steps,
+            mo_steps=mo_steps,
+            lr_so=settings.lr,
+            lr_mo=settings.lr,
+            mo_optimizer=settings.optimizer,
+            num_kernels=settings.num_kernels,
+        ).run(source)
+    if method.startswith("BiSMO"):
+        kind = method.split("-", 1)[1].lower()
+        return BiSMO(
+            cfg,
+            target,
+            method=kind,
+            unroll_steps=settings.unroll_steps,
+            terms=settings.terms,
+            inner_lr=settings.lr,
+            outer_lr=settings.lr,
+            outer_optimizer=settings.optimizer,
+            hvp_mode=settings.hvp_mode,
+            damping=settings.cg_damping if kind == "cg" else 0.0,
+        ).run(source, iterations=iters)
+    raise KeyError(f"unknown method {method!r}")
+
+
+def evaluate_final(
+    result: SMOResult,
+    clip: Clip,
+    settings: RunSettings,
+    source_fallback: Optional[np.ndarray] = None,
+    objective: Optional[AbbeSMOObjective] = None,
+    binary_mask: bool = True,
+) -> Dict[str, float]:
+    """Judge a finished run's (mask, source) under the lossless Abbe model.
+
+    ``binary_mask=True`` hard-thresholds the optimized mask before the
+    judging simulation: manufactured masks are binary (Section 3.1), so
+    metrics are reported for the manufacturable mask, not the sigmoid
+    relaxation.
+    """
+    cfg = settings.config
+    target = _target_image(clip, cfg)
+    objective = objective or AbbeSMOObjective(cfg, target)
+    theta_j = result.theta_j
+    if theta_j is None:
+        src = source_fallback if source_fallback is not None else _annular_source(cfg)
+        theta_j = init_theta_source(src, cfg)
+    theta_m = result.theta_m
+    if binary_mask:
+        # +/-1e3 drives the sigmoid to exactly 0/1 in float64.
+        theta_m = np.where(theta_m >= 0.0, 1e3, -1e3)
+    images = objective.images(theta_j, theta_m)
+    l2 = l2_error_nm2(images["resist"], target, cfg)
+    pvb = pvb_nm2(images["resist_min"], images["resist_max"], cfg)
+    epe = epe_report(images["resist"], clip.rects, cfg)
+    return {
+        "l2_nm2": l2,
+        "pvb_nm2": pvb,
+        "epe_violations": epe.violations,
+        "epe_mean_nm": epe.mean_abs_nm,
+    }
+
+
+def run_clip(
+    method: str,
+    clip: Clip,
+    settings: RunSettings,
+    dataset_name: str = "",
+    objective: Optional[AbbeSMOObjective] = None,
+) -> RunRecord:
+    """Run one method on one clip and evaluate all paper metrics."""
+    cfg = settings.config
+    target = _target_image(clip, cfg)
+    source = _annular_source(cfg)
+    start = time.perf_counter()
+    result = _dispatch(method, settings, target, source)
+    runtime = time.perf_counter() - start
+    metrics = evaluate_final(result, clip, settings, source, objective)
+    return RunRecord(
+        method=method,
+        dataset=dataset_name,
+        clip=clip.name,
+        l2_nm2=metrics["l2_nm2"],
+        pvb_nm2=metrics["pvb_nm2"],
+        epe_violations=int(metrics["epe_violations"]),
+        epe_mean_nm=metrics["epe_mean_nm"],
+        runtime_s=runtime,
+        final_loss=result.final_loss,
+        losses=result.losses,
+    )
+
+
+def run_matrix(
+    datasets: Sequence[Dataset],
+    settings: RunSettings,
+    methods: Sequence[str] = METHOD_ORDER,
+    clips_per_dataset: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[RunRecord]:
+    """Full (method x dataset x clip) sweep — the shared input of
+    Table 3 and Table 4."""
+    records: List[RunRecord] = []
+    for ds in datasets:
+        clips = list(ds)[: clips_per_dataset or len(ds)]
+        # Sharing one objective per clip reuses the pupil stack across methods.
+        for clip in clips:
+            target = _target_image(clip, settings.config)
+            objective = AbbeSMOObjective(settings.config, target)
+            for method in methods:
+                if progress:
+                    progress(f"{ds.name}/{clip.name}/{method}")
+                records.append(
+                    run_clip(method, clip, settings, ds.name, objective=objective)
+                )
+    return records

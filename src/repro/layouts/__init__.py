@@ -1,0 +1,33 @@
+"""Benchmark layout substrate: GLP clip I/O, synthetic clip generation,
+and dataset registries matching Table 2 of the paper."""
+
+from .glp import dumps, loads, read_glp, write_glp
+from .synth import ClipStyle, clip_area, generate_clip
+from .datasets import (
+    DATASET_NAMES,
+    dataset_from_glp_dir,
+    Clip,
+    Dataset,
+    dataset_by_name,
+    iccad13,
+    iccad_l,
+    ispd19,
+)
+
+__all__ = [
+    "read_glp",
+    "write_glp",
+    "loads",
+    "dumps",
+    "ClipStyle",
+    "generate_clip",
+    "clip_area",
+    "Clip",
+    "Dataset",
+    "iccad13",
+    "iccad_l",
+    "ispd19",
+    "dataset_by_name",
+    "dataset_from_glp_dir",
+    "DATASET_NAMES",
+]

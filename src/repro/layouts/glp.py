@@ -1,0 +1,92 @@
+"""Reader/writer for a GLP-style layout clip text format.
+
+The ICCAD13 contest ships its mask-optimization clips in the "glp"
+format; the public benchmarks are not redistributable here, so
+:mod:`repro.layouts.synth` generates statistically matched clips — but
+this module keeps the same on-disk interchange format so real contest
+files can be dropped in:
+
+.. code-block:: text
+
+    BEGIN
+    EQUIV 1 1000 MICRON +X,+Y
+    CNAME clip_name
+    LEVEL M1
+      RECT 100 200 64 320
+      PGON 0 0 100 0 100 50 50 50 50 100 0 100
+    ENDMSG
+
+``RECT x y w h`` uses lower-left corner + size; ``PGON`` lists the vertex
+loop of a rectilinear polygon.  All coordinates are integer nanometres.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..geometry import Rect, RectilinearPolygon, decompose
+
+__all__ = ["read_glp", "write_glp", "loads", "dumps"]
+
+
+def loads(text: str) -> Tuple[str, dict[str, List[Rect]]]:
+    """Parse GLP text; returns (clip_name, {layer: rects})."""
+    name = "unnamed"
+    layers: dict[str, List[Rect]] = {}
+    current: List[Rect] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("BEGIN", "EQUIV", "ENDMSG", "#")):
+            continue
+        tokens = line.split()
+        kind = tokens[0].upper()
+        if kind == "CNAME":
+            name = tokens[1] if len(tokens) > 1 else name
+        elif kind == "LEVEL":
+            layer = tokens[1] if len(tokens) > 1 else "M1"
+            current = layers.setdefault(layer, [])
+        elif kind == "RECT":
+            if current is None:
+                current = layers.setdefault("M1", [])
+            try:
+                x, y, w, h = (int(t) for t in tokens[1:5])
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"bad RECT on line {lineno}: {raw!r}") from exc
+            current.append(Rect(x, y, x + w, y + h))
+        elif kind == "PGON":
+            if current is None:
+                current = layers.setdefault("M1", [])
+            coords = [int(t) for t in tokens[1:]]
+            if len(coords) % 2:
+                raise ValueError(f"odd coordinate count in PGON on line {lineno}")
+            verts = list(zip(coords[::2], coords[1::2]))
+            current.extend(decompose(RectilinearPolygon(verts)))
+        else:
+            raise ValueError(f"unknown GLP record {kind!r} on line {lineno}")
+    return name, layers
+
+
+def dumps(name: str, layers: dict[str, List[Rect]]) -> str:
+    """Serialize layers to GLP text."""
+    buf = io.StringIO()
+    buf.write("BEGIN\n")
+    buf.write("EQUIV 1 1000 MICRON +X,+Y\n")
+    buf.write(f"CNAME {name}\n")
+    for layer, rects in layers.items():
+        buf.write(f"LEVEL {layer}\n")
+        for r in sorted(rects):
+            buf.write(f"  RECT {r.x1} {r.y1} {r.width} {r.height}\n")
+    buf.write("ENDMSG\n")
+    return buf.getvalue()
+
+
+def read_glp(path: Union[str, Path]) -> Tuple[str, dict[str, List[Rect]]]:
+    """Read a GLP clip file from disk."""
+    return loads(Path(path).read_text())
+
+
+def write_glp(path: Union[str, Path], name: str, layers: dict[str, List[Rect]]) -> None:
+    """Write a GLP clip file to disk."""
+    Path(path).write_text(dumps(name, layers))

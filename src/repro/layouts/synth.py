@@ -1,0 +1,146 @@
+"""Synthetic benchmark clip generators.
+
+The paper evaluates on ICCAD13 [17], an enlarged ICCAD-L variant, and
+ISPD19 metal+via clips (Table 2).  Those GDS files cannot be shipped
+offline, so this module generates deterministic, statistically matched
+rectilinear clips instead: Manhattan wire segments (plus via squares for
+ISPD19-style clips) with the published critical dimension, tile size and
+average total feature area.  The substitution is documented in DESIGN.md:
+the paper's comparisons are between *optimizers* on common targets, so
+any realistic rectilinear target distribution exercises the same code
+paths and preserves relative rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Rect, total_area
+
+__all__ = ["ClipStyle", "generate_clip", "clip_area"]
+
+
+@dataclass(frozen=True)
+class ClipStyle:
+    """Statistical recipe for one benchmark family.
+
+    Parameters mirror Table 2 of the paper: ``cd_nm`` is the critical
+    dimension (minimum feature width), ``tile_nm`` the square tile side
+    (2000 nm -> 4 um^2 tiles), ``target_area_nm2`` the average total
+    feature area per clip, and ``via_fraction`` the share of area spent
+    on via squares (ISPD19 clips are Metal+Via).
+    """
+
+    name: str
+    cd_nm: int
+    tile_nm: int
+    target_area_nm2: int
+    via_fraction: float = 0.0
+    max_wire_len_nm: int = 1200
+    min_wire_len_nm: int = 120
+    wide_wire_prob: float = 0.25
+    margin_nm: int = 320
+
+    @property
+    def pitch_nm(self) -> int:
+        """Placement grid pitch: CD-sized features on a 2x CD pitch."""
+        return 2 * self.cd_nm
+
+
+def generate_clip(style: ClipStyle, seed: int) -> List[Rect]:
+    """Generate one deterministic clip for ``style``.
+
+    Wires are placed greedily with rejection sampling, enforcing a
+    minimum spacing of one CD between features, until the target area is
+    reached (within one feature).  Vias, if requested, are CD x CD
+    squares placed under the same spacing rule.
+    """
+    rng = _style_rng(style.name, seed)
+    cd = style.cd_nm
+    lo = style.margin_nm
+    hi = style.tile_nm - style.margin_nm
+    placed: List[Rect] = []
+    area = 0
+    via_budget = int(style.target_area_nm2 * style.via_fraction)
+    wire_budget = style.target_area_nm2 - via_budget
+
+    attempts = 0
+    while area < wire_budget and attempts < 5000:
+        attempts += 1
+        rect = _random_wire(rng, style, lo, hi)
+        if rect is None or not _spacing_ok(rect, placed, cd):
+            continue
+        placed.append(rect)
+        area += rect.area
+
+    via_area = 0
+    while via_area < via_budget and attempts < 8000:
+        attempts += 1
+        rect = _random_via(rng, style, lo, hi)
+        if not _spacing_ok(rect, placed, cd):
+            continue
+        placed.append(rect)
+        via_area += rect.area
+
+    if not placed:
+        raise RuntimeError(f"failed to generate any feature for {style.name}/{seed}")
+    return sorted(placed)
+
+
+def _style_rng(name: str, seed: int) -> np.random.Generator:
+    """Deterministic RNG from (style name, seed).
+
+    Python's builtin ``hash`` is randomized per process, so a stable FNV
+    hash keeps clips identical across runs.
+    """
+    acc = 2166136261
+    for ch in name.encode():
+        acc = ((acc ^ ch) * 16777619) & 0xFFFFFFFF
+    return np.random.default_rng(np.random.SeedSequence([acc, seed & 0xFFFFFFFF]))
+
+
+def _snap(value: float, pitch: int) -> int:
+    return int(round(value / pitch)) * pitch
+
+
+def _random_wire(
+    rng: np.random.Generator, style: ClipStyle, lo: int, hi: int
+) -> Optional[Rect]:
+    cd = style.cd_nm
+    width = 2 * cd if rng.random() < style.wide_wire_prob else cd
+    length = _snap(
+        rng.uniform(style.min_wire_len_nm, style.max_wire_len_nm), cd
+    )
+    length = max(length, 2 * cd)
+    horizontal = rng.random() < 0.5
+    w, h = (length, width) if horizontal else (width, length)
+    if hi - lo - w <= 0 or hi - lo - h <= 0:
+        return None
+    x = _snap(rng.uniform(lo, hi - w), style.pitch_nm)
+    y = _snap(rng.uniform(lo, hi - h), style.pitch_nm)
+    x = min(max(x, lo), hi - w)
+    y = min(max(y, lo), hi - h)
+    return Rect(x, y, x + w, y + h)
+
+
+def _random_via(rng: np.random.Generator, style: ClipStyle, lo: int, hi: int) -> Rect:
+    cd = style.cd_nm
+    side = 2 * cd  # printable via pads are ~2x CD
+    x = _snap(rng.uniform(lo, hi - side), style.pitch_nm)
+    y = _snap(rng.uniform(lo, hi - side), style.pitch_nm)
+    x = min(max(x, lo), hi - side)
+    y = min(max(y, lo), hi - side)
+    return Rect(x, y, x + side, y + side)
+
+
+def _spacing_ok(rect: Rect, placed: Sequence[Rect], spacing: int) -> bool:
+    inflated = rect.expanded(spacing)
+    return not any(inflated.intersects(p) for p in placed)
+
+
+def clip_area(rects: Sequence[Rect]) -> int:
+    """Total feature area of a clip in nm^2 (union-safe)."""
+    return total_area(list(rects))

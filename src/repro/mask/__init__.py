@@ -1,0 +1,20 @@
+"""Mask post-processing and manufacturability analysis (SRAF extraction,
+shot counting, mask-rule cleanup)."""
+
+from .analysis import (
+    MaskComponents,
+    MaskStats,
+    connected_components,
+    mask_statistics,
+    remove_small_features,
+    split_main_and_sraf,
+)
+
+__all__ = [
+    "MaskComponents",
+    "MaskStats",
+    "connected_components",
+    "split_main_and_sraf",
+    "mask_statistics",
+    "remove_small_features",
+]

@@ -1,0 +1,148 @@
+"""Mask manufacturability analysis: SRAF extraction, shot counting,
+minimum-feature checks.
+
+The paper's Table 1 notes that initializing theta_M from the target
+"facilitates SRAF generation during MO": inverse lithography grows
+sub-resolution assist features (SRAFs) around the main patterns.  A mask
+house cares about what those cost — write shots, minimum features,
+total figure count — so this module quantifies the optimized mask the
+way a mask-prep flow would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import GridSpec, Rect, grid_to_rects, rasterize
+from ..optics import OpticalConfig, binarize
+
+__all__ = [
+    "MaskComponents",
+    "MaskStats",
+    "connected_components",
+    "split_main_and_sraf",
+    "mask_statistics",
+    "remove_small_features",
+]
+
+
+@dataclass(frozen=True)
+class MaskComponents:
+    """Mask shapes split into main (target-overlapping) and SRAF parts."""
+
+    main: Tuple[Rect, ...]
+    srafs: Tuple[Rect, ...]
+
+    @property
+    def num_srafs(self) -> int:
+        return len(self.srafs)
+
+
+@dataclass(frozen=True)
+class MaskStats:
+    """Manufacturability summary of a binary mask image."""
+
+    shot_count: int             # rectangles in a VSB-style decomposition
+    num_components: int         # connected mask figures
+    num_srafs: int              # figures not touching the target
+    min_feature_nm: float       # smallest rect side length
+    mask_area_nm2: float
+    sraf_area_nm2: float
+
+
+def connected_components(image: np.ndarray) -> List[np.ndarray]:
+    """4-connected components of a binary image (list of boolean masks).
+
+    Implemented with an iterative flood fill; clip-scale grids are small
+    enough that no union-find machinery is needed.
+    """
+    binary = np.asarray(image) >= 0.5
+    visited = np.zeros_like(binary, dtype=bool)
+    n_rows, n_cols = binary.shape
+    components: List[np.ndarray] = []
+    for r0, c0 in zip(*np.nonzero(binary & ~visited)):
+        if visited[r0, c0]:
+            continue
+        stack = [(int(r0), int(c0))]
+        comp = np.zeros_like(binary)
+        visited[r0, c0] = True
+        while stack:
+            r, c = stack.pop()
+            comp[r, c] = True
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                rr, cc = r + dr, c + dc
+                if 0 <= rr < n_rows and 0 <= cc < n_cols:
+                    if binary[rr, cc] and not visited[rr, cc]:
+                        visited[rr, cc] = True
+                        stack.append((rr, cc))
+        components.append(comp)
+    return components
+
+
+def split_main_and_sraf(
+    mask: np.ndarray, target: np.ndarray, grid: GridSpec
+) -> MaskComponents:
+    """Partition mask figures by target overlap.
+
+    A figure that shares any pixel with the target is a main feature;
+    everything else is a sub-resolution assist feature.
+    """
+    target_bin = np.asarray(target) >= 0.5
+    main: List[Rect] = []
+    srafs: List[Rect] = []
+    for comp in connected_components(mask):
+        rects = grid_to_rects(comp.astype(np.float64), grid)
+        if (comp & target_bin).any():
+            main.extend(rects)
+        else:
+            srafs.extend(rects)
+    return MaskComponents(main=tuple(sorted(main)), srafs=tuple(sorted(srafs)))
+
+
+def mask_statistics(
+    mask: np.ndarray, target: np.ndarray, config: OpticalConfig
+) -> MaskStats:
+    """Compute the manufacturability summary for a (relaxed) mask image."""
+    grid = GridSpec(config.mask_size, config.pixel_nm)
+    mask_bin = binarize(mask)
+    components = connected_components(mask_bin)
+    parts = split_main_and_sraf(mask_bin, target, grid)
+    all_rects = list(parts.main) + list(parts.srafs)
+    min_side = (
+        min(min(r.width, r.height) for r in all_rects) if all_rects else 0.0
+    )
+    from ..geometry import total_area
+
+    return MaskStats(
+        shot_count=len(all_rects),
+        num_components=len(components),
+        num_srafs=parts.num_srafs,
+        min_feature_nm=float(min_side),
+        mask_area_nm2=float(mask_bin.sum() * config.pixel_area_nm2),
+        sraf_area_nm2=float(total_area(list(parts.srafs))),
+    )
+
+
+def remove_small_features(
+    mask: np.ndarray, config: OpticalConfig, min_feature_nm: float
+) -> np.ndarray:
+    """Drop mask figures whose bounding box is below the mask-rule size.
+
+    This is the standard post-ILT cleanup before handing the mask to
+    fracture: figures below the mask writer's resolution cannot be
+    manufactured and must be removed (their optical contribution is
+    minor by construction).
+    """
+    binary = binarize(mask)
+    out = np.zeros(binary.shape, dtype=bool)
+    min_px = min_feature_nm / config.pixel_nm
+    for comp in connected_components(binary):
+        rows, cols = np.nonzero(comp)
+        height = rows.max() - rows.min() + 1
+        width = cols.max() - cols.min() + 1
+        if min(width, height) >= min_px:
+            out |= comp
+    return out.astype(np.float64)

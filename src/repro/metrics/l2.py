@@ -1,0 +1,31 @@
+"""Squared L2 error — Definition 1 of the paper.
+
+Reported in nm^2: the resist and target are binarized and the squared
+L2 distance (= XOR pixel count for binary images) is scaled by the
+pixel area, matching the units of Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..optics import OpticalConfig, binarize
+
+__all__ = ["l2_error_nm2", "l2_error_pixels"]
+
+
+def l2_error_pixels(resist: np.ndarray, target: np.ndarray, threshold: float = 0.5) -> int:
+    """|| Z - Z_t ||^2 on binarized images (pixel count)."""
+    z = binarize(resist, threshold)
+    zt = binarize(target, threshold)
+    return int(((z - zt) ** 2).sum())
+
+
+def l2_error_nm2(
+    resist: np.ndarray,
+    target: np.ndarray,
+    config: OpticalConfig,
+    threshold: float = 0.5,
+) -> float:
+    """Squared L2 error in nm^2 (Definition 1, Table 3 units)."""
+    return l2_error_pixels(resist, target, threshold) * config.pixel_area_nm2

@@ -1,0 +1,76 @@
+"""Conjugate-gradient linear solver driven by a matrix-vector callback.
+
+Used by BiSMO-CG (Section 3.2.3) to solve ``H w = v`` where ``H`` is the
+inner-SO Hessian, available only through Hessian-vector products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["CGResult", "conjugate_gradient"]
+
+
+@dataclass
+class CGResult:
+    """Solution plus convergence diagnostics."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def conjugate_gradient(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    max_iter: int = 5,
+    tol: float = 1e-8,
+    damping: float = 0.0,
+) -> CGResult:
+    """Solve ``(A + damping*I) x = b`` with at most ``max_iter`` CG steps.
+
+    ``matvec`` must implement ``A @ x`` for a symmetric (ideally PSD)
+    operator; ``damping`` regularizes indefinite Hessians.  Warm starts
+    (``x0``) are used by Algorithm 2's ``w0 <- wK`` re-initialization.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    x = np.zeros_like(b) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+
+    def apply(vec: np.ndarray) -> np.ndarray:
+        out = matvec(vec)
+        if damping:
+            out = out + damping * vec
+        return out
+
+    r = b - apply(x)
+    p = r.copy()
+    rs_old = float(np.vdot(r, r).real)
+    b_norm = float(np.linalg.norm(b))
+    threshold = tol * max(b_norm, 1e-30)
+    if np.sqrt(rs_old) <= threshold:
+        return CGResult(x=x, iterations=0, residual_norm=np.sqrt(rs_old), converged=True)
+
+    it = 0
+    for it in range(1, max_iter + 1):
+        ap = apply(p)
+        denom = float(np.vdot(p, ap).real)
+        if denom <= 0:
+            # Non-PSD direction: bail out with the current iterate rather
+            # than amplify a negative-curvature direction (CG instability
+            # the paper observes as BiSMO-CG's larger variance, Fig. 5).
+            break
+        alpha = rs_old / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(np.vdot(r, r).real)
+        if np.sqrt(rs_new) <= threshold:
+            rs_old = rs_new
+            return CGResult(x=x, iterations=it, residual_norm=np.sqrt(rs_new), converged=True)
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+    return CGResult(x=x, iterations=it, residual_norm=np.sqrt(rs_old), converged=False)

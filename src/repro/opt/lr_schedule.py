@@ -1,0 +1,73 @@
+"""Learning-rate schedules for the SMO optimizers.
+
+Schedules are plain callables ``step -> lr`` plus a small helper that
+applies them to an :class:`repro.opt.Optimizer` in place, so any solver
+loop can decay its step size without changing its structure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from .optimizers import Optimizer
+
+__all__ = ["ConstantLR", "StepLR", "CosineLR", "apply_schedule"]
+
+
+class Schedule(Protocol):  # pragma: no cover - typing only
+    def __call__(self, step: int) -> float: ...
+
+
+class ConstantLR:
+    """lr(step) = base (identity schedule, useful as a default)."""
+
+    def __init__(self, base: float) -> None:
+        if base <= 0:
+            raise ValueError("base lr must be positive")
+        self.base = float(base)
+
+    def __call__(self, step: int) -> float:
+        return self.base
+
+
+class StepLR:
+    """Multiply the rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(self, base: float, period: int, gamma: float = 0.5) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.base = float(base)
+        self.period = period
+        self.gamma = float(gamma)
+
+    def __call__(self, step: int) -> float:
+        return self.base * self.gamma ** (step // self.period)
+
+
+class CosineLR:
+    """Cosine annealing from ``base`` to ``floor`` over ``total`` steps."""
+
+    def __init__(self, base: float, total: int, floor: float = 0.0) -> None:
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if floor < 0 or floor > base:
+            raise ValueError("need 0 <= floor <= base")
+        self.base = float(base)
+        self.total = total
+        self.floor = float(floor)
+
+    def __call__(self, step: int) -> float:
+        t = min(step, self.total) / self.total
+        return self.floor + 0.5 * (self.base - self.floor) * (1 + math.cos(math.pi * t))
+
+
+def apply_schedule(optimizer: Optimizer, schedule: Schedule, step: int) -> float:
+    """Set ``optimizer.lr`` from the schedule; returns the applied rate."""
+    lr = float(schedule(step))
+    if lr <= 0:
+        raise ValueError(f"schedule produced non-positive lr {lr} at step {step}")
+    optimizer.lr = lr
+    return lr

@@ -1,0 +1,42 @@
+"""Truncated Neumann-series application of an inverse Hessian.
+
+Lemma 2 of the paper: for ``||I - A|| < 1``, ``A^{-1} = sum_k (I - A)^k``.
+With ``A = xi * H`` (xi the inner-loop learning rate, small enough that
+the spectral condition holds near a minimum), the inverse-Hessian-vector
+product is approximated by
+
+    H^{-1} v  ~=  xi * sum_{k=0}^{K} (I - xi H)^k v
+
+(Lorraine et al. 2020), evaluated with K Hessian-vector products.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["neumann_inverse_hvp"]
+
+
+def neumann_inverse_hvp(
+    hvp: Callable[[np.ndarray], np.ndarray],
+    v: np.ndarray,
+    terms: int,
+    lr: float,
+) -> np.ndarray:
+    """Approximate ``H^{-1} v`` with ``terms`` Neumann-series terms.
+
+    ``terms == 0`` degenerates to ``lr * v`` — the identity-scaled
+    approximation that makes BiSMO-NMN coincide with BiSMO-FD
+    (Section 3.2.4).
+    """
+    if terms < 0:
+        raise ValueError("terms must be >= 0")
+    v = np.asarray(v, dtype=np.float64)
+    p = v.copy()
+    acc = v.copy()
+    for _ in range(terms):
+        p = p - lr * hvp(p)
+        acc = acc + p
+    return lr * acc

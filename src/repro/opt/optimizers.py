@@ -1,0 +1,100 @@
+"""First-order optimizers over raw parameter ndarrays.
+
+The SMO solvers keep their parameters (theta_J, theta_M) as plain numpy
+arrays between iterations and only wrap them in autodiff tensors for
+loss/gradient evaluation, so the optimizers here are array-in/array-out
+(like ``torch.optim`` with a single param group).  Algorithm 2 of the
+paper allows either plain gradient steps or Adam; both are provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "make_optimizer"]
+
+
+class Optimizer:
+    """Base class: stateful update rule ``param <- step(param, grad)``."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def step(self, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (moments, step counters)."""
+
+
+class SGD(Optimizer):
+    """Gradient descent with optional heavy-ball momentum."""
+
+    def __init__(self, lr: float, momentum: float = 0.0) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: Optional[np.ndarray] = None
+
+    def step(self, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self.momentum == 0.0:
+            return param - self.lr * grad
+        if self._velocity is None or self._velocity.shape != param.shape:
+            self._velocity = np.zeros_like(param)
+        self._velocity = self.momentum * self._velocity + grad
+        return param - self.lr * self._velocity
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the paper's "// Or Adam" option in Alg. 2."""
+
+    def __init__(
+        self,
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(lr)
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+        self._t = 0
+
+    def step(self, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        if self._m is None or self._m.shape != param.shape:
+            self._m = np.zeros_like(param)
+            self._v = np.zeros_like(param)
+            self._t = 0
+        self._t += 1
+        self._m = self.beta1 * self._m + (1 - self.beta1) * grad
+        self._v = self.beta2 * self._v + (1 - self.beta2) * grad * grad
+        m_hat = self._m / (1 - self.beta1**self._t)
+        v_hat = self._v / (1 - self.beta2**self._t)
+        return param - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+
+def make_optimizer(name: str, lr: float, **kwargs) -> Optimizer:
+    """Factory: ``"sgd"``, ``"momentum"`` or ``"adam"``."""
+    key = name.lower()
+    if key == "sgd":
+        return SGD(lr, **kwargs)
+    if key == "momentum":
+        kwargs.setdefault("momentum", 0.9)
+        return SGD(lr, **kwargs)
+    if key == "adam":
+        return Adam(lr, **kwargs)
+    raise KeyError(f"unknown optimizer {name!r}")

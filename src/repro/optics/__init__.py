@@ -1,0 +1,38 @@
+"""Lithography simulation substrate: optical configuration, source
+templates, pupil, Abbe and Hopkins/SOCS imaging engines, resist model."""
+
+from .config import OpticalConfig
+from .source import (
+    SourceGrid,
+    annular,
+    coherent_point,
+    conventional,
+    dipole,
+    quasar,
+)
+from .pupil import defocus_phase, defocused_pupil_stack, pupil, shifted_pupil_stack
+from .abbe import AbbeImaging
+from .hopkins import HopkinsImaging, build_tcc, socs_kernels
+from .resist import binarize, calibrate_threshold, printed_area_nm2, resist_image
+
+__all__ = [
+    "OpticalConfig",
+    "SourceGrid",
+    "annular",
+    "quasar",
+    "dipole",
+    "conventional",
+    "coherent_point",
+    "pupil",
+    "shifted_pupil_stack",
+    "defocus_phase",
+    "defocused_pupil_stack",
+    "AbbeImaging",
+    "HopkinsImaging",
+    "build_tcc",
+    "socs_kernels",
+    "resist_image",
+    "binarize",
+    "printed_area_nm2",
+    "calibrate_threshold",
+]

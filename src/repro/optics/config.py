@@ -1,0 +1,135 @@
+"""Optical / numerical configuration for the lithography models.
+
+The paper's settings (Section 4): wavelength 193 nm, NA 1.35, annular
+source with sigma_out 0.95 / sigma_in 0.63, source grid N_j = 35, mask
+grid N_m = 2048 over a 4 um^2 tile, SOCS truncation Q = 24, sigmoid
+steepnesses alpha_m = 9, alpha_j = 2, beta = 30, initial magnitudes
+m0 = 1, j0 = 5, loss weights gamma = 1000, eta = 3000, dose +/-2 %.
+
+The paper ran those sizes on an RTX 4090.  This reproduction runs on one
+CPU core, so :func:`OpticalConfig.preset` offers scaled-down grids with
+the *same physics* (identical tile size, wavelength, NA, source shape);
+the paper-scale preset remains available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["OpticalConfig"]
+
+
+@dataclass(frozen=True)
+class OpticalConfig:
+    """All knobs of the forward model and SMO losses in one place."""
+
+    # --- optics -------------------------------------------------------
+    wavelength_nm: float = 193.0
+    na: float = 1.35
+    # --- grids --------------------------------------------------------
+    mask_size: int = 128           # N_m (paper: 2048)
+    tile_nm: float = 2000.0        # 2 um side -> 4 um^2 tile as in Table 2
+    source_size: int = 13          # N_j (paper: 35)
+    # --- source template ---------------------------------------------
+    sigma_out: float = 0.95
+    sigma_in: float = 0.63
+    # --- parametrization (Table 1) -------------------------------------
+    alpha_m: float = 9.0
+    alpha_j: float = 2.0
+    m0: float = 1.0
+    j0: float = 5.0
+    # --- resist (Eq. (6)) ----------------------------------------------
+    beta: float = 30.0
+    intensity_threshold: float = 0.225
+    # --- process window (Eq. (8)) --------------------------------------
+    dose_min: float = 0.98
+    dose_max: float = 1.02
+    # --- loss weights (Eq. (9)) -----------------------------------------
+    gamma: float = 1000.0
+    eta: float = 3000.0
+    # --- Hopkins / SOCS -------------------------------------------------
+    socs_terms: int = 24           # Q
+
+    def __post_init__(self) -> None:
+        if self.mask_size <= 0 or self.source_size <= 0:
+            raise ValueError("grid sizes must be positive")
+        if not 0 < self.sigma_in < self.sigma_out <= 1.0:
+            raise ValueError("need 0 < sigma_in < sigma_out <= 1")
+        if self.dose_min > 1.0 or self.dose_max < 1.0:
+            raise ValueError("dose range must bracket the nominal dose 1.0")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def pixel_nm(self) -> float:
+        """Mask pixel pitch in nanometres."""
+        return self.tile_nm / self.mask_size
+
+    @property
+    def cutoff_freq(self) -> float:
+        """Pupil cutoff NA / lambda in 1/nm (Eq. (5))."""
+        return self.na / self.wavelength_nm
+
+    @property
+    def pixel_area_nm2(self) -> float:
+        return self.pixel_nm**2
+
+    def freq_axes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """FFT frequency axes (1/nm) for the mask grid (fftfreq order)."""
+        f = np.fft.fftfreq(self.mask_size, d=self.pixel_nm)
+        return f, f
+
+    def freq_grid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Meshed (fx, fy) frequency grids, shape (N_m, N_m)."""
+        f, g = self.freq_axes()
+        return np.meshgrid(f, g, indexing="xy")
+
+    def source_sigma_axes(self) -> np.ndarray:
+        """Normalized source coordinates sigma in [-1, 1] (length N_j)."""
+        return np.linspace(-1.0, 1.0, self.source_size)
+
+    def validate_sampling(self) -> None:
+        """Raise if the mask grid cannot represent the optical band.
+
+        The aerial image is bandlimited to 2 * NA/lambda; the grid Nyquist
+        frequency 1/(2*pixel) must exceed that (with a small safety
+        factor for the shifted pupils).
+        """
+        nyquist = 1.0 / (2.0 * self.pixel_nm)
+        if nyquist < 2.0 * self.cutoff_freq:
+            raise ValueError(
+                f"mask grid too coarse: Nyquist {nyquist:.2e} < 2*NA/lambda "
+                f"{2 * self.cutoff_freq:.2e}; increase mask_size"
+            )
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str = "default") -> "OpticalConfig":
+        """Named configurations.
+
+        * ``"paper"`` — the full DAC'24 settings (2048 px, N_j=35); very
+          slow on CPU, provided for completeness.
+        * ``"default"`` — 128 px / N_j=13; the reproduction scale used by
+          the benchmark harness.
+        * ``"small"`` — 64 px / N_j=9 for integration tests and examples.
+        * ``"tiny"`` — 32 px / N_j=7, 500 nm tile, for unit tests.
+        """
+        presets = {
+            "paper": cls(mask_size=2048, source_size=35),
+            "default": cls(mask_size=128, source_size=13),
+            "small": cls(mask_size=64, source_size=9),
+            "tiny": cls(mask_size=32, source_size=7, tile_nm=500.0),
+        }
+        if name not in presets:
+            raise KeyError(f"unknown preset {name!r}; choose from {sorted(presets)}")
+        return presets[name]
+
+    def with_(self, **kwargs) -> "OpticalConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,74 @@
+"""Projection pupil (optical transfer function) — Equation (5).
+
+The projector is modelled as an ideal circular low-pass filter with
+cutoff ``NA / lambda``.  For Abbe imaging, each source point sees the
+pupil shifted by its own spatial frequency; :func:`shifted_pupil_stack`
+builds all shifted pupils at once so the imaging engine can batch the
+per-source FFTs (the paper's parallel acceleration, Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .config import OpticalConfig
+from .source import SourceGrid
+
+__all__ = ["pupil", "shifted_pupil_stack", "defocus_phase", "defocused_pupil_stack"]
+
+
+def pupil(config: OpticalConfig) -> np.ndarray:
+    """Unshifted pupil H(f, g) on the mask frequency grid (fftfreq order)."""
+    fx, fy = config.freq_grid()
+    return (np.hypot(fx, fy) <= config.cutoff_freq + 1e-15).astype(np.float64)
+
+
+def shifted_pupil_stack(
+    config: OpticalConfig, grid: SourceGrid
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pupils shifted by every valid source point's frequency offset.
+
+    Returns
+    -------
+    stack:
+        ``(S, N_m, N_m)`` float array; ``stack[s] = H(f + f_s, g + g_s)``
+        for the s-th valid source point.
+    valid_index:
+        Tuple of index arrays selecting the valid source points in the
+        ``(N_j, N_j)`` source image (row-major order matching ``stack``).
+    """
+    fx, fy = config.freq_grid()
+    off_x, off_y = grid.freq_offsets(config)
+    fc = config.cutoff_freq
+    # (S, N, N) via broadcasting; bool -> float64 for autodiff multiplies.
+    shifted_sq = (fx[None, :, :] + off_x[:, None, None]) ** 2 + (
+        fy[None, :, :] + off_y[:, None, None]
+    ) ** 2
+    stack = (shifted_sq <= (fc + 1e-15) ** 2).astype(np.float64)
+    valid_index = np.nonzero(grid.valid)
+    return stack, valid_index
+
+
+def defocus_phase(config: OpticalConfig, defocus_nm: float) -> np.ndarray:
+    """Paraxial defocus phase factor exp(-i pi lambda z (f^2 + g^2)).
+
+    Multiplying the pupil by this complex factor models a wafer-plane
+    focus offset of ``defocus_nm`` (Fresnel approximation).  Used by the
+    focus-corner process-window extension; the paper's PVB uses dose
+    corners only.
+    """
+    fx, fy = config.freq_grid()
+    phase = -np.pi * config.wavelength_nm * defocus_nm * (fx**2 + fy**2)
+    return np.exp(1j * phase)
+
+
+def defocused_pupil_stack(
+    config: OpticalConfig, grid: SourceGrid, defocus_nm: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shifted pupils with a defocus aberration applied (complex stack)."""
+    stack, valid_index = shifted_pupil_stack(config, grid)
+    if defocus_nm == 0.0:
+        return stack, valid_index
+    return stack * defocus_phase(config, defocus_nm)[None, :, :], valid_index

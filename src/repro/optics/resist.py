@@ -1,0 +1,65 @@
+"""Resist model — Equation (6): a differentiable sigmoid threshold.
+
+The printed (resist) pattern is ``Z = sigmoid(beta * (I - I_tr))``:
+a constant-threshold resist with steepness ``beta`` keeping the model
+differentiable for gradient-based SMO.  Dose variation for the process
+window enters by scaling the *mask transmission* before imaging
+(Section 3.1: ``M_min = d_min * sigma(alpha_m * theta_M)``), handled by
+the SMO objective; this module only maps aerial intensity to resist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import functional as F
+from .config import OpticalConfig
+
+__all__ = ["resist_image", "binarize", "printed_area_nm2", "calibrate_threshold"]
+
+
+def resist_image(
+    aerial: ad.Tensor, config: OpticalConfig, threshold: float | None = None
+) -> ad.Tensor:
+    """Differentiable resist pattern Z = sigmoid(beta * (I - I_tr))."""
+    tr = config.intensity_threshold if threshold is None else float(threshold)
+    return F.sigmoid(F.mul(F.sub(aerial, tr), config.beta))
+
+
+def binarize(image: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Hard-threshold a (resist or mask) image to {0, 1}."""
+    return (np.asarray(image) >= threshold).astype(np.float64)
+
+
+def printed_area_nm2(resist: np.ndarray, config: OpticalConfig) -> float:
+    """Printed feature area implied by a resist image."""
+    return float(binarize(resist).sum() * config.pixel_area_nm2)
+
+
+def calibrate_threshold(
+    aerial: np.ndarray,
+    target: np.ndarray,
+    lo: float = 0.05,
+    hi: float = 0.8,
+    iters: int = 40,
+) -> float:
+    """Bisection for the intensity threshold whose printed area matches
+    the target area.
+
+    A convenience for non-paper optical setups; the paper's experiments
+    use a fixed threshold, but sanity tests use this to confirm the
+    default is reasonable.
+    """
+    target_area = float((np.asarray(target) >= 0.5).sum())
+    if target_area == 0:
+        raise ValueError("target pattern is empty")
+    a, b = lo, hi
+    for _ in range(iters):
+        mid = (a + b) / 2.0
+        area = float((aerial >= mid).sum())
+        if area > target_area:
+            a = mid
+        else:
+            b = mid
+    return (a + b) / 2.0

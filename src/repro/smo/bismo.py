@@ -1,0 +1,264 @@
+"""BiSMO — bilevel SMO (Section 3.2, Algorithm 2).
+
+SMO is posed as the bilevel program (Eq. (11))
+
+    min_{theta_M}  L_mo(theta_J*(theta_M), theta_M)
+    s.t.  theta_J*(theta_M) = argmin_{theta_J} L_so(theta_J, theta_M)
+
+The outer (MO) gradient is the *hypergradient* (Eq. (12)): the direct
+term plus the best-response term through theta_J*.  Three approximations
+of the inverse inner Hessian are implemented (FD / Neumann / CG, see
+:mod:`repro.smo.fd`, :mod:`repro.smo.nmn`, :mod:`repro.smo.cg`); each
+outer iteration
+
+1. unrolls ``T`` inner SO steps to track theta_J* (Alg. 2 line 2),
+2. builds a :class:`HypergradientContext` — one differentiable forward/
+   backward giving the direct gradients plus exact HVP / mixed-JVP
+   oracles via double backward,
+3. forms the hypergradient and updates theta_M (Alg. 2 line 13).
+
+Since the paper sets ``L_so := L_mo := L_smo`` (Eq. (9)), one loss graph
+serves both levels.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..autodiff import functional as F
+from ..opt import make_optimizer
+from ..optics import OpticalConfig
+from .objective import AbbeSMOObjective
+from .parametrization import init_theta_mask, init_theta_source
+from .state import IterationRecord, SMOResult
+
+__all__ = ["HypergradientContext", "BiSMO"]
+
+
+class HypergradientContext:
+    """Differentiable first-order state at (theta_J, theta_M).
+
+    Wraps one loss evaluation with ``create_graph=True`` and exposes:
+
+    * ``grad_j`` / ``grad_m`` — direct gradients (numpy copies),
+    * :meth:`hvp` — exact inner Hessian-vector products
+      ``(d^2 L_so / d theta_J^2) @ p``,
+    * :meth:`mixed_vjp` — exact mixed products
+      ``(d^2 L_so / d theta_M d theta_J) @ w`` (shape of theta_M),
+
+    both computed by a second backward pass through the gradient graph
+    (``hvp_mode="exact"``), or by central differences of fresh gradient
+    evaluations (``hvp_mode="fd"``, cheaper in memory — the DARTS trick).
+    """
+
+    def __init__(
+        self,
+        objective: AbbeSMOObjective,
+        theta_j: np.ndarray,
+        theta_m: np.ndarray,
+        hvp_mode: str = "exact",
+        fd_eps: float = 1e-2,
+    ):
+        if hvp_mode not in ("exact", "fd"):
+            raise ValueError(f"unknown hvp_mode {hvp_mode!r}")
+        self.objective = objective
+        self.hvp_mode = hvp_mode
+        self.fd_eps = fd_eps
+        self._tj = ad.Tensor(theta_j, requires_grad=True)
+        self._tm = ad.Tensor(theta_m, requires_grad=True)
+        loss = objective.loss(self._tj, self._tm)
+        self.loss_value = float(loss.data)
+        create = hvp_mode == "exact"
+        gj, gm = ad.grad(loss, [self._tj, self._tm], create_graph=create)
+        self._gj_graph = gj if create else None
+        self.grad_j = gj.data.copy()
+        self.grad_m = gm.data.copy()
+
+    # -- second-order oracles -------------------------------------------
+    def hvp(self, p: np.ndarray) -> np.ndarray:
+        """(d^2 L_so / d theta_J^2) @ p."""
+        if self.hvp_mode == "exact":
+            inner = F.dot(self._gj_graph, ad.Tensor(p))
+            (h,) = ad.grad(inner, [self._tj], allow_unused=True)
+            return np.zeros_like(p) if h is None else h.data
+        return self._fd_second_order(p, wrt="j")
+
+    def mixed_vjp(self, w: np.ndarray) -> np.ndarray:
+        """(d^2 L_so / d theta_M d theta_J) @ w — gradient-fusion term."""
+        if self.hvp_mode == "exact":
+            inner = F.dot(self._gj_graph, ad.Tensor(w))
+            (m,) = ad.grad(inner, [self._tm], allow_unused=True)
+            return np.zeros_like(self._tm.data) if m is None else m.data
+        return self._fd_second_order(w, wrt="m")
+
+    def _fd_second_order(self, vec: np.ndarray, wrt: str) -> np.ndarray:
+        """Central difference of the relevant first-order gradient while
+        perturbing theta_J along ``vec`` (DARTS-style step scaling)."""
+        norm = float(np.linalg.norm(vec.ravel()))
+        if norm == 0.0:
+            return np.zeros_like(vec if wrt == "j" else self._tm.data)
+        h = self.fd_eps / norm
+        outs = []
+        for sign in (1.0, -1.0):
+            tj = ad.Tensor(self._tj.data + sign * h * vec, requires_grad=True)
+            tm = ad.Tensor(self._tm.data, requires_grad=True)
+            loss = self.objective.loss(tj, tm)
+            target = tj if wrt == "j" else tm
+            (g,) = ad.grad(loss, [target])
+            outs.append(g.data)
+        return (outs[0] - outs[1]) / (2.0 * h)
+
+
+HypergradientFn = Callable[
+    [HypergradientContext, float, int, float, Optional[np.ndarray]],
+    Tuple[np.ndarray, Optional[np.ndarray]],
+]
+
+
+def _resolve_method(method: str) -> Optional[HypergradientFn]:
+    from .cg import cg_hypergradient
+    from .fd import fd_hypergradient
+    from .nmn import neumann_hypergradient
+
+    table = {"fd": fd_hypergradient, "nmn": neumann_hypergradient, "cg": cg_hypergradient}
+    key = method.lower()
+    if key == "unroll":
+        return None  # handled structurally in BiSMO.run (RMD path)
+    if key not in table:
+        raise KeyError(
+            f"unknown BiSMO method {method!r}; choose from "
+            f"{sorted(table) + ['unroll']}"
+        )
+    return table[key]
+
+
+class BiSMO:
+    """Bilevel SMO driver (Algorithm 2).
+
+    Parameters
+    ----------
+    method:
+        ``"fd"`` (Eq. (13)), ``"nmn"`` (Eq. (16)) or ``"cg"`` (Eq. (18)).
+    unroll_steps:
+        Inner SO steps ``T`` per outer iteration (paper: 3).
+    terms:
+        Neumann terms / CG iterations ``K`` (paper: 5).
+    inner_lr / outer_lr:
+        Step sizes ``xi_J`` and ``xi_M`` (paper: 0.1 each).
+    inner_optimizer / outer_optimizer:
+        ``"sgd"`` or ``"adam"`` ("// Or Adam" in Alg. 2).
+    hvp_mode:
+        ``"exact"`` (double backward) or ``"fd"`` (finite differences).
+    damping:
+        Tikhonov damping added to the inner Hessian in the CG solve.
+    """
+
+    def __init__(
+        self,
+        config: OpticalConfig,
+        target: np.ndarray,
+        method: str = "nmn",
+        unroll_steps: int = 3,
+        terms: int = 5,
+        inner_lr: float = 0.1,
+        outer_lr: float = 0.1,
+        inner_optimizer: str = "sgd",
+        outer_optimizer: str = "adam",
+        hvp_mode: str = "exact",
+        damping: float = 0.0,
+        objective: Optional[AbbeSMOObjective] = None,
+    ):
+        self.config = config
+        self.target = np.asarray(target, dtype=np.float64)
+        self.objective = objective or AbbeSMOObjective(config, self.target)
+        self.method = method.lower()
+        self._hyper_fn = _resolve_method(method)
+        self.unroll_steps = unroll_steps
+        self.terms = terms
+        self.inner_lr = inner_lr
+        self.outer_lr = outer_lr
+        self.inner_optimizer = inner_optimizer
+        self.outer_optimizer = outer_optimizer
+        self.hvp_mode = hvp_mode
+        self.damping = damping
+        self.method_name = f"BiSMO-{self.method.upper()}"
+
+    def run(
+        self,
+        source_template: np.ndarray,
+        iterations: int = 40,
+        theta_m0: Optional[np.ndarray] = None,
+        theta_j0: Optional[np.ndarray] = None,
+        callback: Optional[Callable[[IterationRecord], None]] = None,
+    ) -> SMOResult:
+        cfg = self.config
+        theta_m = (
+            init_theta_mask(self.target, cfg)
+            if theta_m0 is None
+            else np.array(theta_m0, dtype=np.float64, copy=True)
+        )
+        theta_j = (
+            init_theta_source(source_template, cfg)
+            if theta_j0 is None
+            else np.array(theta_j0, dtype=np.float64, copy=True)
+        )
+        inner_opt = make_optimizer(self.inner_optimizer, self.inner_lr)
+        outer_opt = make_optimizer(self.outer_optimizer, self.outer_lr)
+        warm: Optional[np.ndarray] = None
+        history = []
+        start = time.perf_counter()
+        for it in range(iterations):
+            t0 = time.perf_counter()
+            if self._hyper_fn is None:
+                # BiSMO-UNROLL: reverse-mode differentiation through the
+                # inner loop (the memory-heavy reference strategy).
+                from .unroll import unrolled_hypergradient
+
+                hyper, theta_j, loss_value = unrolled_hypergradient(
+                    self.objective,
+                    theta_j,
+                    theta_m,
+                    steps=self.unroll_steps,
+                    inner_lr=self.inner_lr,
+                )
+                theta_m = outer_opt.step(theta_m, hyper)
+                rec = IterationRecord(
+                    it, loss_value, time.perf_counter() - t0, "bilevel"
+                )
+                history.append(rec)
+                if callback:
+                    callback(rec)
+                continue
+            # ---- Alg. 2 line 2: unroll T inner SO steps ---------------
+            tm_fixed = ad.Tensor(theta_m)
+            for _ in range(self.unroll_steps):
+                tj = ad.Tensor(theta_j, requires_grad=True)
+                loss_so = self.objective.loss(tj, tm_fixed)
+                (gj,) = ad.grad(loss_so, [tj])
+                theta_j = inner_opt.step(theta_j, gj.data)
+            # ---- Alg. 2 lines 5-12: hypergradient ---------------------
+            ctx = HypergradientContext(
+                self.objective, theta_j, theta_m, hvp_mode=self.hvp_mode
+            )
+            hyper, warm = self._hyper_fn(
+                ctx, self.inner_lr, self.terms, self.damping, warm
+            )
+            # ---- Alg. 2 line 13: outer MO step ------------------------
+            theta_m = outer_opt.step(theta_m, hyper)
+            rec = IterationRecord(
+                it, ctx.loss_value, time.perf_counter() - t0, "bilevel"
+            )
+            history.append(rec)
+            if callback:
+                callback(rec)
+        return SMOResult(
+            method=self.method_name,
+            theta_m=theta_m,
+            theta_j=theta_j,
+            history=history,
+            runtime_seconds=time.perf_counter() - start,
+        )

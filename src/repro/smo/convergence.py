@@ -1,0 +1,81 @@
+"""Stopping criteria for SMO runs.
+
+Section 3.2's critique of AM-SMO includes that "the absence of global
+gradient guidance complicates establishing effective early stopping
+criteria".  BiSMO's hypergradient gives a principled signal; these
+helpers package the common rules so runs can stop when converged
+instead of exhausting a fixed budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PlateauStopper", "RelativeImprovementStopper", "GradientNormStopper"]
+
+
+class PlateauStopper:
+    """Stop when the best loss hasn't improved for ``patience`` steps."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = float(min_delta)
+        self._best = np.inf
+        self._stale = 0
+
+    def update(self, loss: float) -> bool:
+        """Record a loss; returns True when optimization should stop."""
+        if loss < self._best - self.min_delta:
+            self._best = loss
+            self._stale = 0
+        else:
+            self._stale += 1
+        return self._stale >= self.patience
+
+    def reset(self) -> None:
+        self._best = np.inf
+        self._stale = 0
+
+
+class RelativeImprovementStopper:
+    """Stop when the relative per-step improvement drops below ``rtol``
+    for ``patience`` consecutive steps."""
+
+    def __init__(self, rtol: float = 1e-3, patience: int = 3) -> None:
+        self.rtol = float(rtol)
+        self.patience = patience
+        self._prev: Optional[float] = None
+        self._slow = 0
+
+    def update(self, loss: float) -> bool:
+        if self._prev is not None and self._prev > 0:
+            rel = (self._prev - loss) / self._prev
+            self._slow = self._slow + 1 if rel < self.rtol else 0
+        self._prev = loss
+        return self._slow >= self.patience
+
+    def reset(self) -> None:
+        self._prev = None
+        self._slow = 0
+
+
+class GradientNormStopper:
+    """Stop when the (hyper)gradient norm falls below a threshold.
+
+    Feed it the hypergradient from a BiSMO callback; this is the
+    "global gradient guidance" stopping rule AM-SMO cannot have.
+    """
+
+    def __init__(self, threshold: float) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.last_norm: Optional[float] = None
+
+    def update(self, gradient: np.ndarray) -> bool:
+        self.last_norm = float(np.linalg.norm(np.asarray(gradient).ravel()))
+        return self.last_norm < self.threshold

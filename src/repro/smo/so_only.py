@@ -1,0 +1,70 @@
+"""Source-only optimization (SO) with the mask held fixed.
+
+SO is only possible with Abbe's model (the paper's core observation:
+Hopkins bakes the source into the TCC).  Used standalone and as the
+inner phase of AM-SMO.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..opt import make_optimizer
+from ..optics import OpticalConfig
+from .objective import AbbeSMOObjective
+from .parametrization import init_theta_source
+from .state import IterationRecord, SMOResult
+
+__all__ = ["SourceOptimizer"]
+
+
+class SourceOptimizer:
+    """Gradient-based SO: minimize L_so over theta_J with theta_M fixed."""
+
+    method_name = "SO"
+
+    def __init__(
+        self,
+        config: OpticalConfig,
+        target: np.ndarray,
+        lr: float = 0.1,
+        optimizer: str = "sgd",
+        objective: Optional[AbbeSMOObjective] = None,
+    ):
+        self.config = config
+        self.objective = objective or AbbeSMOObjective(config, target)
+        self._opt = make_optimizer(optimizer, lr)
+
+    def run(
+        self,
+        theta_m: np.ndarray,
+        theta_j0: np.ndarray,
+        iterations: int = 30,
+        callback: Optional[Callable[[IterationRecord], None]] = None,
+    ) -> SMOResult:
+        theta_j = np.array(theta_j0, dtype=np.float64, copy=True)
+        tm_fixed = ad.Tensor(theta_m)
+        self._opt.reset()
+        history = []
+        start = time.perf_counter()
+        for it in range(iterations):
+            t0 = time.perf_counter()
+            tj = ad.Tensor(theta_j, requires_grad=True)
+            loss = self.objective.loss(tj, tm_fixed)
+            (gj,) = ad.grad(loss, [tj])
+            theta_j = self._opt.step(theta_j, gj.data)
+            rec = IterationRecord(it, float(loss.data), time.perf_counter() - t0, "so")
+            history.append(rec)
+            if callback:
+                callback(rec)
+        return SMOResult(
+            method=self.method_name,
+            theta_m=np.array(theta_m, copy=True),
+            theta_j=theta_j,
+            history=history,
+            runtime_seconds=time.perf_counter() - start,
+        )

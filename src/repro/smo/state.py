@@ -1,0 +1,50 @@
+"""Result containers shared by every SMO/MO/SO solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["IterationRecord", "SMOResult"]
+
+
+@dataclass
+class IterationRecord:
+    """One outer-iteration snapshot: loss value and elapsed seconds."""
+
+    iteration: int
+    loss: float
+    seconds: float
+    phase: str = ""  # "so" / "mo" / "bilevel" — used by convergence plots
+
+
+@dataclass
+class SMOResult:
+    """Final parameters + convergence trace of one optimization run."""
+
+    method: str
+    theta_m: np.ndarray
+    theta_j: Optional[np.ndarray]
+    history: List[IterationRecord] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.loss for r in self.history], dtype=np.float64)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.history:
+            raise ValueError("empty history")
+        return self.history[-1].loss
+
+    @property
+    def best_loss(self) -> float:
+        return float(self.losses.min())
+
+    def log_losses(self) -> np.ndarray:
+        """log10 of the loss trace — the quantity plotted in Figure 3."""
+        return np.log10(np.maximum(self.losses, 1e-30))

@@ -1,0 +1,6 @@
+"""Small shared utilities: timing, seeding, logging."""
+
+from .timing import Timer, timed
+from .seed import seeded_rng
+
+__all__ = ["Timer", "timed", "seeded_rng"]

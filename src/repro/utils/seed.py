@@ -1,0 +1,24 @@
+"""Deterministic RNG construction so every experiment is reproducible."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seeded_rng"]
+
+
+def seeded_rng(*keys: int | str) -> np.random.Generator:
+    """Build a generator from a sequence of integer/string keys.
+
+    Strings are hashed stably (not with Python's randomized ``hash``).
+    """
+    ints = []
+    for key in keys:
+        if isinstance(key, str):
+            acc = 2166136261
+            for ch in key.encode():
+                acc = ((acc ^ ch) * 16777619) & 0xFFFFFFFF
+            ints.append(acc)
+        else:
+            ints.append(int(key) & 0xFFFFFFFF)
+    return np.random.default_rng(np.random.SeedSequence(ints))

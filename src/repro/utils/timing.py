@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers used by the runtime benchmarks (Table 4 TAT)."""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator, Optional, TypeVar
+
+__all__ = ["Timer", "timed"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Use as a context manager (accumulates across entries)::
+
+        t = Timer()
+        with t:
+            run_once()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.count: int = 0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._start = None
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once, returning (result, seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

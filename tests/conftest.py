@@ -1,0 +1,38 @@
+"""Shared fixtures: tiny optical setups sized for unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import GridSpec, Rect, rasterize
+from repro.optics import OpticalConfig, SourceGrid, annular
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> OpticalConfig:
+    """32x32 mask over a 500 nm tile, 7x7 source — fast but physical."""
+    return OpticalConfig.preset("tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_source(tiny_config) -> np.ndarray:
+    grid = SourceGrid.from_config(tiny_config)
+    return annular(grid, tiny_config.sigma_out, tiny_config.sigma_in)
+
+
+@pytest.fixture(scope="session")
+def tiny_rects() -> list[Rect]:
+    """Two features inside the 500 nm tile: a bar and a short stub."""
+    return [Rect(150, 100, 350, 180), Rect(150, 260, 220, 420)]
+
+
+@pytest.fixture(scope="session")
+def tiny_target(tiny_config, tiny_rects) -> np.ndarray:
+    grid = GridSpec(tiny_config.mask_size, tiny_config.pixel_nm)
+    return (rasterize(tiny_rects, grid) >= 0.5).astype(np.float64)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,134 @@
+"""Hypothesis property-based tests on autodiff algebraic invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro.autodiff as ad
+from repro.autodiff import functional as F
+
+_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def vectors(n=4):
+    return arrays(np.float64, (n,), elements=_floats)
+
+
+def matrices(n=3):
+    return arrays(np.float64, (n, n), elements=_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors(), vectors())
+def test_grad_of_sum_is_linear(a, b):
+    """grad(L1 + L2) == grad(L1) + grad(L2) at the same point."""
+    x = ad.Tensor(a, requires_grad=True)
+    bb = ad.Tensor(b)
+
+    l1 = F.sum(F.mul(x, x))
+    l2 = F.sum(F.mul(x, bb))
+    (g_combined,) = ad.grad(F.add(l1, l2), [x])
+
+    x2 = ad.Tensor(a, requires_grad=True)
+    (g1,) = ad.grad(F.sum(F.mul(x2, x2)), [x2])
+    x3 = ad.Tensor(a, requires_grad=True)
+    (g2,) = ad.grad(F.sum(F.mul(x3, bb)), [x3])
+    np.testing.assert_allclose(g_combined.data, g1.data + g2.data, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors(), st.floats(min_value=-2.0, max_value=2.0, allow_nan=False))
+def test_grad_scales_with_constant(a, c):
+    x = ad.Tensor(a, requires_grad=True)
+    (g,) = ad.grad(F.mul(F.sum(F.mul(x, x)), c), [x])
+    np.testing.assert_allclose(g.data, 2.0 * c * a, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(4))
+def test_fft_parseval(m):
+    """sum |x|^2 == sum |FFT(x)|^2 / N  (Parseval, backward norm)."""
+    x = ad.Tensor(m)
+    space = F.sum(F.abs2(x)).item()
+    freq = F.sum(F.abs2(F.fft2(x))).item() / m.size
+    np.testing.assert_allclose(space, freq, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(4))
+def test_fft_roundtrip_property(m):
+    x = ad.Tensor(m)
+    back = F.real(F.ifft2(F.fft2(x)))
+    np.testing.assert_allclose(back.data, m, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors())
+def test_sigmoid_symmetry(a):
+    """sigmoid(-x) == 1 - sigmoid(x)."""
+    s1 = F.sigmoid(ad.Tensor(a)).data
+    s2 = F.sigmoid(ad.Tensor(-a)).data
+    np.testing.assert_allclose(s1 + s2, np.ones_like(a), atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors())
+def test_sigmoid_grad_bounded(a):
+    """d sigmoid/dx in (0, 0.25]."""
+    x = ad.Tensor(a, requires_grad=True)
+    (g,) = ad.grad(F.sum(F.sigmoid(x)), [x])
+    assert np.all(g.data > 0)
+    assert np.all(g.data <= 0.25 + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors(), vectors())
+def test_abs2_multiplicative(a, b):
+    """|z w|^2 == |z|^2 |w|^2 elementwise."""
+    z = ad.Tensor(a + 1j * b)
+    w = ad.Tensor(b + 1j * a)
+    lhs = F.abs2(F.mul(z, w)).data
+    rhs = F.abs2(z).data * F.abs2(w).data
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(3), matrices(3))
+def test_hvp_symmetry(m, d):
+    """v^T H u == u^T H v (Hessian symmetry) for a smooth loss."""
+    def loss(x):
+        return F.sum(F.power(F.sigmoid(x), 3.0))
+
+    x = ad.Tensor(m)
+    u = np.eye(3)[0][:, None] * np.ones((1, 3))
+    hv_d = ad.hvp(loss, x, ad.Tensor(d))
+    hv_u = ad.hvp(loss, x, ad.Tensor(u))
+    lhs = float((u * hv_d.data).sum())
+    rhs = float((d * hv_u.data).sum())
+    np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(vectors(6))
+def test_sum_to_is_adjoint_of_broadcast(a):
+    """<broadcast(x), y> == <x, sum_to(y)> — adjoint pair."""
+    x = ad.Tensor(a[:3])
+    y = ad.Tensor(np.stack([a[:3], a[3:]]))
+    lhs = F.sum(F.mul(F.broadcast_to(x, (2, 3)), y)).item()
+    rhs = F.sum(F.mul(x, F.sum_to(y, (3,)))).item()
+    np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrices(4))
+def test_fft_adjoint_identity(m):
+    """<FFT(x), y> == <x, N * IFFT(y)> under the real pairing."""
+    rng = np.random.default_rng(0)
+    y = ad.Tensor(rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4)))
+    x = ad.Tensor(m)
+    lhs = F.dot(F.fft2(x), y).item()
+    rhs = F.dot(x, F.mul(F.ifft2(y), 16.0)).item()
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)

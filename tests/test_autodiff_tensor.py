@@ -1,0 +1,127 @@
+"""Unit tests for the Tensor type and grad-mode switches."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.autodiff import functional as F
+
+
+class TestConstruction:
+    def test_float_coercion(self):
+        t = ad.Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_complex_coercion(self):
+        t = ad.Tensor(np.array([1 + 2j], dtype=np.complex64))
+        assert t.dtype == np.complex128
+        assert t.is_complex
+
+    def test_scalar(self):
+        t = ad.Tensor(2.5)
+        assert t.shape == ()
+        assert t.item() == 2.5
+
+    def test_as_tensor_passthrough(self):
+        t = ad.Tensor([1.0])
+        assert ad.as_tensor(t) is t
+
+    def test_as_tensor_wraps(self):
+        t = ad.as_tensor([1.0, 2.0])
+        assert isinstance(t, ad.Tensor)
+
+    def test_leaf_flag(self):
+        t = ad.Tensor([1.0], requires_grad=True)
+        assert t.is_leaf
+        out = F.mul(t, 2.0)
+        assert not out.is_leaf
+
+    def test_len(self):
+        assert len(ad.Tensor([1.0, 2.0, 3.0])) == 3
+
+
+class TestGradMode:
+    def test_default_enabled(self):
+        assert ad.is_grad_enabled()
+
+    def test_no_grad_blocks_graph(self):
+        x = ad.Tensor([1.0], requires_grad=True)
+        with ad.no_grad():
+            y = F.mul(x, 3.0)
+        assert y._vjp is None
+        assert not y.requires_grad
+
+    def test_enable_grad_inside_no_grad(self):
+        x = ad.Tensor([1.0], requires_grad=True)
+        with ad.no_grad():
+            with ad.enable_grad():
+                y = F.mul(x, 3.0)
+        assert y.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with ad.no_grad():
+                raise ValueError("boom")
+        assert ad.is_grad_enabled()
+
+    def test_requires_grad_propagates(self):
+        a = ad.Tensor([1.0], requires_grad=True)
+        b = ad.Tensor([2.0])
+        assert F.add(a, b).requires_grad
+        assert not F.add(b, b).requires_grad
+
+
+class TestDetachClone:
+    def test_detach_breaks_graph(self):
+        x = ad.Tensor([1.0, 2.0], requires_grad=True)
+        y = F.mul(x, 2.0).detach()
+        assert not y.requires_grad
+        assert y._vjp is None
+
+    def test_detach_shares_data(self):
+        x = ad.Tensor([1.0])
+        assert x.detach().data is x.data
+
+    def test_clone_keeps_graph(self):
+        x = ad.Tensor([3.0], requires_grad=True)
+        y = x.clone()
+        (g,) = ad.grad(F.sum(y), [x])
+        assert g.data == pytest.approx(1.0)
+
+
+class TestOperatorSugar:
+    def test_arithmetic_operators(self):
+        a = ad.Tensor([2.0])
+        b = ad.Tensor([4.0])
+        assert (a + b).data[0] == 6.0
+        assert (a - b).data[0] == -2.0
+        assert (a * b).data[0] == 8.0
+        assert (a / b).data[0] == 0.5
+        assert (-a).data[0] == -2.0
+        assert (a**2).data[0] == 4.0
+
+    def test_reflected_operators(self):
+        a = ad.Tensor([2.0])
+        assert (1.0 + a).data[0] == 3.0
+        assert (1.0 - a).data[0] == -1.0
+        assert (3.0 * a).data[0] == 6.0
+        assert (8.0 / a).data[0] == 4.0
+
+    def test_getitem(self):
+        a = ad.Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert a[1, 0].data == 3.0
+
+    def test_method_sugar(self):
+        a = ad.Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert a.sum().item() == 10.0
+        assert a.mean().item() == 2.5
+        assert a.reshape(4).shape == (4,)
+        assert a.reshape((4,)).shape == (4,)
+
+    def test_backward_accumulates_into_grad(self):
+        x = ad.Tensor([1.0, 2.0], requires_grad=True)
+        F.sum(F.mul(x, x)).backward()
+        np.testing.assert_allclose(x.grad.data, [2.0, 4.0])
+        F.sum(F.mul(x, x)).backward()
+        np.testing.assert_allclose(x.grad.data, [4.0, 8.0])

@@ -1,0 +1,69 @@
+"""Tests for rectilinear polygon decomposition."""
+
+import pytest
+
+from repro.geometry import Rect, RectilinearPolygon, decompose, total_area
+
+
+class TestPolygonValidation:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            RectilinearPolygon([(0, 0), (1, 0), (1, 1)])
+
+    def test_diagonal_edge_rejected(self):
+        with pytest.raises(ValueError):
+            RectilinearPolygon([(0, 0), (5, 5), (5, 0), (0, 5)])
+
+    def test_from_rect(self):
+        poly = RectilinearPolygon.from_rect(Rect(0, 0, 4, 2))
+        assert poly.area() == 8
+        assert poly.bounding_box() == Rect(0, 0, 4, 2)
+
+
+class TestDecompose:
+    def test_rectangle(self):
+        poly = RectilinearPolygon.from_rect(Rect(0, 0, 10, 5))
+        assert decompose(poly) == [Rect(0, 0, 10, 5)]
+
+    def test_l_shape(self):
+        # L: 10x10 square minus its top-right 5x5 quadrant
+        poly = RectilinearPolygon(
+            [(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)]
+        )
+        rects = decompose(poly)
+        assert total_area(rects) == poly.area() == 75
+        # disjointness
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_t_shape(self):
+        poly = RectilinearPolygon(
+            [(0, 0), (30, 0), (30, 10), (20, 10), (20, 30), (10, 30), (10, 10), (0, 10)]
+        )
+        rects = decompose(poly)
+        assert total_area(rects) == poly.area() == 500
+
+    def test_u_shape(self):
+        poly = RectilinearPolygon(
+            [(0, 0), (30, 0), (30, 20), (20, 20), (20, 10), (10, 10), (10, 20), (0, 20)]
+        )
+        rects = decompose(poly)
+        assert total_area(rects) == poly.area() == 500
+
+    def test_area_shoelace_orientation_invariant(self):
+        cw = RectilinearPolygon([(0, 0), (0, 5), (5, 5), (5, 0)])
+        ccw = RectilinearPolygon([(0, 0), (5, 0), (5, 5), (0, 5)])
+        assert cw.area() == ccw.area() == 25
+
+    def test_to_rects_method(self):
+        poly = RectilinearPolygon.from_rect(Rect(2, 3, 9, 8))
+        assert poly.to_rects() == [Rect(2, 3, 9, 8)]
+
+    def test_vertical_merge_inside_decompose(self):
+        # A plain rectangle defined with an extra collinear slab boundary
+        # should still come back as one rect.
+        poly = RectilinearPolygon(
+            [(0, 0), (10, 0), (10, 5), (10, 10), (0, 10), (0, 5)]
+        )
+        assert decompose(poly) == [Rect(0, 0, 10, 10)]

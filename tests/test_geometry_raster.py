@@ -1,0 +1,110 @@
+"""Tests for rasterization and vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GridSpec, Rect, downsample_binary, grid_to_rects, rasterize
+
+
+class TestGridSpec:
+    def test_properties(self):
+        g = GridSpec(100, 5.0)
+        assert g.extent_nm == 500.0
+        assert g.pixel_area_nm2 == 25.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 5.0)
+        with pytest.raises(ValueError):
+            GridSpec(10, -1.0)
+
+    def test_coordinate_roundtrip(self):
+        g = GridSpec(64, 4.0, origin_nm=(10.0, 20.0))
+        col, row = g.to_pixels(26.0, 36.0)
+        assert (col, row) == (4.0, 4.0)
+        assert g.to_nm(col, row) == (26.0, 36.0)
+
+    def test_centered_on(self):
+        g = GridSpec(10, 10.0).centered_on([Rect(40, 40, 60, 60)])
+        col, row = g.to_pixels(50, 50)
+        assert col == pytest.approx(5.0)
+        assert row == pytest.approx(5.0)
+
+
+class TestRasterize:
+    def test_exact_pixel_aligned_area(self):
+        g = GridSpec(16, 10.0)
+        img = rasterize([Rect(20, 30, 60, 80)], g)
+        assert img.sum() * g.pixel_area_nm2 == pytest.approx(40 * 50)
+
+    def test_antialias_partial_pixels(self):
+        g = GridSpec(4, 10.0)
+        img = rasterize([Rect(5, 0, 15, 10)], g)  # half of px0, half of px1
+        np.testing.assert_allclose(img[0, :2], [0.5, 0.5])
+
+    def test_no_antialias_uses_pixel_centres(self):
+        g = GridSpec(4, 10.0)
+        img = rasterize([Rect(0, 0, 16, 10)], g, antialias=False)
+        # covers centres of pixels 0 (5nm) and 1 (15nm), not 2 (25nm)
+        np.testing.assert_allclose(img[0], [1.0, 1.0, 0.0, 0.0])
+
+    def test_out_of_bounds_clipped(self):
+        g = GridSpec(4, 10.0)
+        img = rasterize([Rect(-100, -100, 5, 5)], g)
+        assert img[0, 0] == pytest.approx(0.25)
+        assert img.sum() == pytest.approx(0.25)
+
+    def test_fully_outside_ignored(self):
+        g = GridSpec(4, 10.0)
+        img = rasterize([Rect(100, 100, 110, 110)], g)
+        assert img.sum() == 0.0
+
+    def test_row_is_y_col_is_x(self):
+        g = GridSpec(8, 10.0)
+        img = rasterize([Rect(0, 50, 10, 60)], g, antialias=False)
+        assert img[5, 0] == 1.0
+        assert img[0, 5] == 0.0
+
+    def test_values_clipped_to_one_on_overlap(self):
+        g = GridSpec(4, 10.0)
+        img = rasterize([Rect(0, 0, 20, 20), Rect(0, 0, 20, 20)], g)
+        assert img.max() <= 1.0
+
+
+class TestGridToRects:
+    def test_roundtrip_single_rect(self):
+        g = GridSpec(16, 10.0)
+        rect = Rect(20, 30, 60, 80)
+        img = rasterize([rect], g)
+        assert grid_to_rects(img, g) == [rect]
+
+    def test_roundtrip_two_rects(self):
+        g = GridSpec(32, 10.0)
+        rects = [Rect(10, 10, 50, 30), Rect(100, 200, 180, 240)]
+        img = rasterize(rects, g)
+        assert grid_to_rects(img, g) == sorted(rects)
+
+    def test_empty_image(self):
+        g = GridSpec(8, 10.0)
+        assert grid_to_rects(np.zeros((8, 8)), g) == []
+
+    def test_l_shape_cover_area(self):
+        g = GridSpec(16, 10.0)
+        rects = [Rect(0, 0, 100, 50), Rect(0, 50, 50, 100)]
+        img = rasterize(rects, g)
+        out = grid_to_rects(img, g)
+        from repro.geometry import total_area
+
+        assert total_area(out) == total_area(rects)
+
+
+class TestDownsample:
+    def test_block_average(self):
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        out = downsample_binary(img, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx(img[:2, :2].mean())
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            downsample_binary(np.zeros((6, 6)), 4)

@@ -1,0 +1,100 @@
+"""Tests for the Rect primitive and union-area accounting."""
+
+import pytest
+
+from repro.geometry import Rect, bounding_box, merge_touching, total_area
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(0, 0, 10, 20)
+        assert r.width == 10
+        assert r.height == 20
+        assert r.area == 200
+        assert r.center == (5.0, 10.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Rect(5, 5, 3, 10)
+
+    def test_shifted(self):
+        assert Rect(0, 0, 2, 2).shifted(3, 4) == Rect(3, 4, 5, 6)
+
+    def test_scaled(self):
+        assert Rect(0, 0, 10, 10).scaled(0.5) == Rect(0, 0, 5, 5)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 15, 15))
+        assert not a.intersects(Rect(10, 0, 20, 10))  # touching edges don't overlap
+        assert not a.intersects(Rect(20, 20, 30, 30))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersection(Rect(5, 5, 15, 15)) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(10, 10, 20, 20)) is None
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(9.99, 9.99)
+        assert not r.contains_point(10, 5)
+
+    def test_expanded(self):
+        assert Rect(5, 5, 10, 10).expanded(2) == Rect(3, 3, 12, 12)
+
+    def test_ordering_is_deterministic(self):
+        rects = [Rect(5, 0, 6, 1), Rect(0, 0, 1, 1), Rect(0, 5, 1, 6)]
+        assert sorted(rects)[0] == Rect(0, 0, 1, 1)
+
+
+class TestBoundingBox:
+    def test_single(self):
+        assert bounding_box([Rect(1, 2, 3, 4)]) == Rect(1, 2, 3, 4)
+
+    def test_multiple(self):
+        bb = bounding_box([Rect(0, 0, 1, 1), Rect(5, 7, 9, 8)])
+        assert bb == Rect(0, 0, 9, 8)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestTotalArea:
+    def test_disjoint(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)]) == 8
+
+    def test_overlapping_counted_once(self):
+        assert total_area([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)]) == 28
+
+    def test_contained(self):
+        assert total_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100
+
+    def test_empty(self):
+        assert total_area([]) == 0
+
+    def test_complex_union(self):
+        # plus-sign shape from two crossing bars
+        bars = [Rect(0, 4, 10, 6), Rect(4, 0, 6, 10)]
+        assert total_area(bars) == 20 + 20 - 4
+
+
+class TestMergeTouching:
+    def test_horizontal_merge(self):
+        merged = merge_touching([Rect(0, 0, 5, 2), Rect(5, 0, 9, 2)])
+        assert merged == [Rect(0, 0, 9, 2)]
+
+    def test_vertical_merge(self):
+        merged = merge_touching([Rect(0, 0, 2, 5), Rect(0, 5, 2, 9)])
+        assert merged == [Rect(0, 0, 2, 9)]
+
+    def test_no_merge_different_heights(self):
+        rects = [Rect(0, 0, 5, 2), Rect(5, 0, 9, 3)]
+        assert len(merge_touching(rects)) == 2
+
+    def test_chain_merges(self):
+        rects = [Rect(0, 0, 1, 1), Rect(1, 0, 2, 1), Rect(2, 0, 3, 1)]
+        assert merge_touching(rects) == [Rect(0, 0, 3, 1)]

@@ -1,0 +1,165 @@
+"""Tests for GLP I/O, synthetic clip generation, and dataset registries."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.layouts import (
+    Clip,
+    ClipStyle,
+    DATASET_NAMES,
+    clip_area,
+    dataset_by_name,
+    dumps,
+    generate_clip,
+    iccad13,
+    iccad_l,
+    ispd19,
+    loads,
+    read_glp,
+    write_glp,
+)
+
+
+class TestGLP:
+    def test_roundtrip(self, tmp_path):
+        rects = [Rect(0, 0, 50, 100), Rect(200, 300, 260, 340)]
+        path = tmp_path / "clip.glp"
+        write_glp(path, "myclip", {"M1": rects})
+        name, layers = read_glp(path)
+        assert name == "myclip"
+        assert sorted(layers["M1"]) == sorted(rects)
+
+    def test_pgon_parsing(self):
+        text = (
+            "BEGIN\nCNAME lshape\nLEVEL M1\n"
+            "PGON 0 0 100 0 100 50 50 50 50 100 0 100\nENDMSG\n"
+        )
+        name, layers = loads(text)
+        assert name == "lshape"
+        assert clip_area(layers["M1"]) == 7500
+
+    def test_multiple_layers(self):
+        text = (
+            "BEGIN\nCNAME two\nLEVEL M1\nRECT 0 0 10 10\n"
+            "LEVEL VIA1\nRECT 2 2 4 4\nENDMSG\n"
+        )
+        _, layers = loads(text)
+        assert set(layers) == {"M1", "VIA1"}
+
+    def test_rect_without_level_defaults_m1(self):
+        _, layers = loads("RECT 0 0 5 5\n")
+        assert layers["M1"] == [Rect(0, 0, 5, 5)]
+
+    def test_bad_rect_raises(self):
+        with pytest.raises(ValueError):
+            loads("LEVEL M1\nRECT 1 2 three 4\n")
+
+    def test_odd_pgon_coords_raise(self):
+        with pytest.raises(ValueError):
+            loads("LEVEL M1\nPGON 0 0 10\n")
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(ValueError):
+            loads("CIRCLE 0 0 5\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        _, layers = loads("# comment\n\nLEVEL M1\nRECT 0 0 1 1\n")
+        assert len(layers["M1"]) == 1
+
+    def test_dumps_sorted_and_parseable(self):
+        rects = [Rect(100, 0, 120, 10), Rect(0, 0, 10, 10)]
+        text = dumps("c", {"M1": rects})
+        _, layers = loads(text)
+        assert layers["M1"] == sorted(rects)
+
+
+class TestSynth:
+    STYLE = ClipStyle(name="T", cd_nm=32, tile_nm=2000, target_area_nm2=150000)
+
+    def test_deterministic(self):
+        a = generate_clip(self.STYLE, seed=7)
+        b = generate_clip(self.STYLE, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert generate_clip(self.STYLE, seed=1) != generate_clip(self.STYLE, seed=2)
+
+    def test_area_near_target(self):
+        areas = [clip_area(generate_clip(self.STYLE, seed=s)) for s in range(5)]
+        mean = np.mean(areas)
+        assert 0.7 * self.STYLE.target_area_nm2 < mean < 1.4 * self.STYLE.target_area_nm2
+
+    def test_min_feature_width_is_cd(self):
+        for r in generate_clip(self.STYLE, seed=3):
+            assert min(r.width, r.height) >= self.STYLE.cd_nm
+
+    def test_spacing_at_least_cd(self):
+        rects = generate_clip(self.STYLE, seed=4)
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.expanded(self.STYLE.cd_nm - 1).intersects(b)
+
+    def test_features_respect_margin(self):
+        for r in generate_clip(self.STYLE, seed=5):
+            assert r.x1 >= self.STYLE.margin_nm
+            assert r.x2 <= self.STYLE.tile_nm - self.STYLE.margin_nm
+
+    def test_via_fraction_produces_squares(self):
+        style = ClipStyle(
+            name="V", cd_nm=28, tile_nm=2000, target_area_nm2=300000, via_fraction=0.2
+        )
+        rects = generate_clip(style, seed=0)
+        squares = [r for r in rects if r.width == r.height == 2 * style.cd_nm]
+        assert squares, "expected via squares"
+
+
+class TestDatasets:
+    def test_table2_names(self):
+        assert DATASET_NAMES == ("ICCAD13", "ICCAD-L", "ISPD19")
+
+    def test_counts(self):
+        assert len(iccad13(num_clips=3)) == 3
+        assert len(iccad_l(num_clips=2)) == 2
+        assert len(ispd19(num_clips=4)) == 4
+
+    def test_average_areas_match_table2(self):
+        checks = [
+            (iccad13(num_clips=6), 202655),
+            (iccad_l(num_clips=6), 475571),
+            (ispd19(num_clips=6), 698743),
+        ]
+        for ds, target in checks:
+            assert 0.75 * target < ds.average_area_nm2 < 1.35 * target
+
+    def test_cd_per_dataset(self):
+        assert iccad13(num_clips=1)[0].cd_nm == 32
+        assert ispd19(num_clips=1)[0].cd_nm == 28
+
+    def test_clip_names_unique(self):
+        names = [c.name for c in iccad13(num_clips=5)]
+        assert len(set(names)) == 5
+
+    def test_dataset_by_name(self):
+        assert dataset_by_name("ICCAD13", num_clips=2).name == "ICCAD13"
+        assert dataset_by_name("iccad_l", num_clips=2).name == "ICCAD-L"
+        with pytest.raises(KeyError):
+            dataset_by_name("nope")
+
+    def test_caching_returns_same_object(self):
+        assert iccad13(num_clips=2) is iccad13(num_clips=2)
+
+    def test_iteration_and_indexing(self):
+        ds = iccad13(num_clips=3)
+        assert [c.name for c in ds][0] == ds[0].name
+
+    def test_clip_is_frozen(self):
+        clip = iccad13(num_clips=1)[0]
+        with pytest.raises(AttributeError):
+            clip.name = "x"
+
+    def test_clips_deterministic_across_processes_seed(self):
+        # regression for the randomized-hash seeding bug: fixed expectation
+        clip = iccad13(num_clips=1)[0]
+        again = dataset_by_name("ICCAD13", num_clips=1)[0]
+        assert clip.rects == again.rects

@@ -1,0 +1,106 @@
+"""Tests for mask manufacturability analysis (SRAF extraction etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GridSpec, Rect, rasterize
+from repro.mask import (
+    connected_components,
+    mask_statistics,
+    remove_small_features,
+    split_main_and_sraf,
+)
+from repro.optics import OpticalConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return OpticalConfig.preset("tiny")  # 32px / 500nm -> 15.625nm px
+
+
+class TestConnectedComponents:
+    def test_empty(self):
+        assert connected_components(np.zeros((4, 4))) == []
+
+    def test_single_blob(self):
+        img = np.zeros((6, 6))
+        img[1:3, 1:4] = 1.0
+        comps = connected_components(img)
+        assert len(comps) == 1
+        assert comps[0].sum() == 6
+
+    def test_two_blobs(self):
+        img = np.zeros((6, 6))
+        img[0, 0] = 1.0
+        img[4:6, 4:6] = 1.0
+        comps = connected_components(img)
+        assert sorted(c.sum() for c in comps) == [1, 4]
+
+    def test_diagonal_not_connected(self):
+        img = np.zeros((4, 4))
+        img[0, 0] = img[1, 1] = 1.0
+        assert len(connected_components(img)) == 2
+
+    def test_l_shape_is_one_component(self):
+        img = np.zeros((5, 5))
+        img[0:4, 0] = 1.0
+        img[3, 0:4] = 1.0
+        assert len(connected_components(img)) == 1
+
+
+class TestSplitMainSraf:
+    def test_sraf_detection(self, cfg):
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        target_rects = [Rect(100, 100, 300, 200)]
+        sraf_rects = [Rect(100, 280, 300, 320)]  # detached assist bar
+        target = rasterize(target_rects, grid, antialias=False)
+        mask = rasterize(target_rects + sraf_rects, grid, antialias=False)
+        parts = split_main_and_sraf(mask, target, grid)
+        assert parts.num_srafs >= 1
+        assert len(parts.main) >= 1
+
+    def test_no_sraf_when_mask_equals_target(self, cfg):
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        rects = [Rect(100, 100, 300, 200)]
+        img = rasterize(rects, grid, antialias=False)
+        parts = split_main_and_sraf(img, img, grid)
+        assert parts.num_srafs == 0
+
+
+class TestMaskStatistics:
+    def test_counts_and_areas(self, cfg):
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        target_rects = [Rect(100, 100, 300, 200)]
+        sraf_rects = [Rect(100, 280, 300, 312)]
+        target = rasterize(target_rects, grid, antialias=False)
+        mask = rasterize(target_rects + sraf_rects, grid, antialias=False)
+        stats = mask_statistics(mask, target, cfg)
+        assert stats.num_components == 2
+        assert stats.num_srafs == 1
+        assert stats.shot_count >= 2
+        assert stats.mask_area_nm2 > 0
+        assert stats.sraf_area_nm2 > 0
+        assert stats.min_feature_nm > 0
+
+    def test_empty_mask(self, cfg):
+        stats = mask_statistics(
+            np.zeros((cfg.mask_size,) * 2), np.zeros((cfg.mask_size,) * 2), cfg
+        )
+        assert stats.shot_count == 0
+        assert stats.min_feature_nm == 0.0
+
+
+class TestRemoveSmallFeatures:
+    def test_removes_below_rule(self, cfg):
+        img = np.zeros((cfg.mask_size,) * 2)
+        img[2:12, 2:12] = 1.0  # 10px ~ 156nm
+        img[20, 20] = 1.0  # single pixel speck
+        cleaned = remove_small_features(img, cfg, min_feature_nm=40.0)
+        assert cleaned[20, 20] == 0.0
+        assert cleaned[5, 5] == 1.0
+
+    def test_keeps_everything_with_zero_rule(self, cfg):
+        img = np.zeros((cfg.mask_size,) * 2)
+        img[3, 3] = 1.0
+        cleaned = remove_small_features(img, cfg, min_feature_nm=0.0)
+        assert cleaned[3, 3] == 1.0

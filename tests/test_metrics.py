@@ -1,0 +1,121 @@
+"""Tests for L2 / PVB / EPE metrics (Definitions 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GridSpec, Rect, rasterize
+from repro.metrics import (
+    DEFAULT_EPE_TOLERANCE_NM,
+    epe_report,
+    l2_error_nm2,
+    l2_error_pixels,
+    pvb_nm2,
+    pvb_pixels,
+)
+from repro.optics import OpticalConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return OpticalConfig.preset("tiny")  # 32px over 500nm
+
+
+class TestL2:
+    def test_identical_is_zero(self, cfg):
+        z = np.random.default_rng(0).random((8, 8))
+        assert l2_error_pixels(z, z) == 0
+
+    def test_pixel_count(self, cfg):
+        target = np.zeros((4, 4))
+        resist = np.zeros((4, 4))
+        resist[0, :2] = 1.0
+        assert l2_error_pixels(resist, target) == 2
+
+    def test_nm2_scaling(self, cfg):
+        target = np.zeros((cfg.mask_size,) * 2)
+        resist = target.copy()
+        resist[0, 0] = 1.0
+        assert l2_error_nm2(resist, target, cfg) == pytest.approx(cfg.pixel_area_nm2)
+
+    def test_binarization_threshold(self, cfg):
+        target = np.zeros((2, 2))
+        resist = np.full((2, 2), 0.49)
+        assert l2_error_pixels(resist, target) == 0
+        assert l2_error_pixels(resist + 0.02, target) == 4
+
+    def test_symmetry(self, cfg):
+        rng = np.random.default_rng(1)
+        a = (rng.random((6, 6)) > 0.5).astype(float)
+        b = (rng.random((6, 6)) > 0.5).astype(float)
+        assert l2_error_pixels(a, b) == l2_error_pixels(b, a)
+
+
+class TestPVB:
+    def test_identical_corners_zero(self):
+        z = (np.random.default_rng(0).random((8, 8)) > 0.5).astype(float)
+        assert pvb_pixels(z, z) == 0
+
+    def test_xor_count(self):
+        z_min = np.zeros((4, 4))
+        z_max = np.zeros((4, 4))
+        z_max[1:3, 1:3] = 1.0
+        assert pvb_pixels(z_min, z_max) == 4
+
+    def test_nm2(self, cfg):
+        z_min = np.zeros((cfg.mask_size,) * 2)
+        z_max = z_min.copy()
+        z_max[0, :3] = 1.0
+        assert pvb_nm2(z_min, z_max, cfg) == pytest.approx(3 * cfg.pixel_area_nm2)
+
+    def test_band_shape(self):
+        """A feature printed larger at max dose: PVB is the ring between."""
+        grid = GridSpec(32, 10.0)
+        inner = rasterize([Rect(100, 100, 200, 200)], grid, antialias=False)
+        outer = rasterize([Rect(90, 90, 210, 210)], grid, antialias=False)
+        ring_px = pvb_pixels(inner, outer)
+        assert ring_px == int(outer.sum() - inner.sum())
+
+
+class TestEPEReport:
+    def _cfg(self):
+        # 64px over 500nm tile -> 7.8nm pixels: enough for EPE probing
+        return OpticalConfig(mask_size=64, tile_nm=500.0, source_size=5)
+
+    def test_perfect_print_no_violations(self):
+        cfg = self._cfg()
+        rects = [Rect(100, 100, 350, 220)]
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        printed = rasterize(rects, grid)
+        rep = epe_report(printed, rects, cfg)
+        assert rep.violations == 0
+        assert rep.num_sites > 0
+        assert rep.mean_abs_nm < 4.0
+        assert rep.violation_rate == 0.0
+
+    def test_shrunk_print_flags_violations(self):
+        cfg = self._cfg()
+        target = [Rect(100, 100, 350, 220)]
+        shrunk = [Rect(120, 120, 330, 200)]  # 20 nm in > 15 nm tolerance
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        printed = rasterize(shrunk, grid)
+        rep = epe_report(printed, target, cfg)
+        assert rep.violations == rep.num_sites
+        assert rep.max_abs_nm >= 19.0
+
+    def test_tolerance_configurable(self):
+        cfg = self._cfg()
+        target = [Rect(100, 100, 350, 220)]
+        shifted = [Rect(110, 110, 340, 210)]  # 10 nm in
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        printed = rasterize(shifted, grid)
+        # uniform 10 nm shrink: corner sites see up to ~sqrt(2)*10 nm
+        assert epe_report(printed, target, cfg, tolerance_nm=25.0).violations == 0
+        assert epe_report(printed, target, cfg, tolerance_nm=5.0).violations > 0
+
+    def test_default_tolerance_is_contest_spec(self):
+        assert DEFAULT_EPE_TOLERANCE_NM == 15.0
+
+    def test_empty_target_raises(self):
+        cfg = self._cfg()
+        with pytest.raises(ValueError):
+            epe_report(np.zeros((64, 64)), [], cfg)

@@ -1,0 +1,91 @@
+"""Tests for aerial-image diagnostics (contrast, NILS, MEEF)."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.geometry import GridSpec, Rect, rasterize
+from repro.metrics import image_contrast, meef, nils_at_edges
+from repro.optics import AbbeImaging, OpticalConfig, SourceGrid, annular
+
+
+class TestContrast:
+    def test_binary_image_full_contrast(self):
+        img = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert image_contrast(img) == pytest.approx(1.0)
+
+    def test_uniform_image_zero_contrast(self):
+        assert image_contrast(np.full((4, 4), 0.5)) == pytest.approx(0.0)
+
+    def test_all_dark(self):
+        assert image_contrast(np.zeros((4, 4))) == 0.0
+
+    def test_active_region(self):
+        img = np.zeros((4, 4))
+        img[0, 0] = 0.4
+        img[0, 1] = 0.6
+        active = np.zeros((4, 4))
+        active[0, :2] = 1.0
+        assert image_contrast(img, active) == pytest.approx(0.2 / 1.0)
+
+    def test_empty_active_raises(self):
+        with pytest.raises(ValueError):
+            image_contrast(np.ones((2, 2)), np.zeros((2, 2)))
+
+    def test_defocus_reduces_real_contrast(self):
+        """Physical check: defocus must lower aerial-image contrast."""
+        cfg = OpticalConfig.preset("tiny")
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        rects = [Rect(150, 100, 350, 180)]
+        mask = ad.Tensor(rasterize(rects, grid))
+        src = ad.Tensor(
+            annular(SourceGrid.from_config(cfg), cfg.sigma_out, cfg.sigma_in)
+        )
+        active = rasterize([r.expanded(60) for r in rects], grid) > 0
+        with ad.no_grad():
+            sharp = AbbeImaging(cfg).aerial(mask, src).data
+            blurred = AbbeImaging(cfg, defocus_nm=150.0).aerial(mask, src).data
+        assert image_contrast(blurred, active) < image_contrast(sharp, active)
+
+
+class TestNILS:
+    def _aerial(self, cfg, rects, defocus=0.0):
+        grid = GridSpec(cfg.mask_size, cfg.pixel_nm)
+        mask = ad.Tensor(rasterize(rects, grid))
+        src = ad.Tensor(
+            annular(SourceGrid.from_config(cfg), cfg.sigma_out, cfg.sigma_in)
+        )
+        with ad.no_grad():
+            return AbbeImaging(cfg, defocus_nm=defocus).aerial(mask, src).data
+
+    def test_positive_at_real_edges(self):
+        cfg = OpticalConfig.preset("tiny")
+        rects = [Rect(150, 100, 350, 180)]
+        nils = nils_at_edges(self._aerial(cfg, rects), rects, cfg)
+        assert nils.shape[0] > 0
+        assert np.all(nils >= 0)
+        assert nils.max() > 0.1
+
+    def test_defocus_degrades_nils(self):
+        cfg = OpticalConfig.preset("tiny")
+        rects = [Rect(150, 100, 350, 180)]
+        sharp = nils_at_edges(self._aerial(cfg, rects), rects, cfg)
+        soft = nils_at_edges(self._aerial(cfg, rects, defocus=150.0), rects, cfg)
+        assert soft.mean() < sharp.mean()
+
+    def test_empty_target_raises(self):
+        cfg = OpticalConfig.preset("tiny")
+        with pytest.raises(ValueError):
+            nils_at_edges(np.zeros((cfg.mask_size,) * 2), [], cfg)
+
+
+class TestMEEF:
+    def test_linear_system_meef(self):
+        """If printed CD = 1.8 * mask CD, MEEF = 1.8."""
+        assert meef(lambda b: 100.0 + 1.8 * 2 * b) == pytest.approx(1.8)
+
+    def test_ideal_printing_meef_one(self):
+        assert meef(lambda b: 100.0 + 2 * b) == pytest.approx(1.0)
+
+    def test_insensitive_process_meef_zero(self):
+        assert meef(lambda b: 100.0) == pytest.approx(0.0)

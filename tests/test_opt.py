@@ -1,0 +1,182 @@
+"""Tests for the optimizer substrate: SGD/Adam, CG solver, Neumann."""
+
+import numpy as np
+import pytest
+
+from repro.opt import (
+    Adam,
+    CGResult,
+    SGD,
+    conjugate_gradient,
+    make_optimizer,
+    neumann_inverse_hvp,
+)
+
+
+def _quadratic(a, b):
+    """Return grad function of 0.5 x^T A x - b^T x."""
+    return lambda x: a @ x - b
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        a = np.diag([1.0, 2.0])
+        b = np.array([1.0, 1.0])
+        grad = _quadratic(a, b)
+        opt = SGD(lr=0.3)
+        x = np.zeros(2)
+        for _ in range(200):
+            x = opt.step(x, grad(x))
+        np.testing.assert_allclose(x, np.linalg.solve(a, b), atol=1e-6)
+
+    def test_momentum_faster_than_plain(self):
+        a = np.diag([1.0, 30.0])  # ill-conditioned
+        b = np.ones(2)
+        grad = _quadratic(a, b)
+        sol = np.linalg.solve(a, b)
+        xs = {}
+        for name, opt in (("plain", SGD(0.03)), ("mom", SGD(0.03, momentum=0.9))):
+            x = np.zeros(2)
+            for _ in range(100):
+                x = opt.step(x, grad(x))
+            xs[name] = np.linalg.norm(x - sol)
+        assert xs["mom"] < xs["plain"]
+
+    def test_reset_clears_velocity(self):
+        opt = SGD(0.1, momentum=0.9)
+        opt.step(np.zeros(2), np.ones(2))
+        opt.reset()
+        assert opt._velocity is None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        a = np.diag([1.0, 100.0])
+        b = np.array([1.0, 1.0])
+        grad = _quadratic(a, b)
+        opt = Adam(lr=0.1)
+        x = np.zeros(2)
+        for _ in range(500):
+            x = opt.step(x, grad(x))
+        np.testing.assert_allclose(x, np.linalg.solve(a, b), atol=1e-3)
+
+    def test_first_step_is_lr_sized(self):
+        opt = Adam(lr=0.1)
+        x = opt.step(np.zeros(3), np.array([5.0, -2.0, 0.1]))
+        np.testing.assert_allclose(np.abs(x), 0.1, atol=1e-6)
+
+    def test_state_resets_on_shape_change(self):
+        opt = Adam(lr=0.1)
+        opt.step(np.zeros(2), np.ones(2))
+        out = opt.step(np.zeros(3), np.ones(3))  # no crash, fresh state
+        assert out.shape == (3,)
+
+    def test_reset(self):
+        opt = Adam(lr=0.1)
+        opt.step(np.zeros(2), np.ones(2))
+        opt.reset()
+        assert opt._m is None and opt._t == 0
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_optimizer("sgd", 0.1), SGD)
+        assert isinstance(make_optimizer("adam", 0.1), Adam)
+        mom = make_optimizer("momentum", 0.1)
+        assert isinstance(mom, SGD) and mom.momentum == 0.9
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_optimizer("lbfgs", 0.1)
+
+
+class TestConjugateGradient:
+    def _spd(self, n=6, seed=0):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        return a @ a.T + n * np.eye(n)
+
+    def test_solves_spd_system(self):
+        a = self._spd()
+        b = np.arange(6, dtype=float)
+        res = conjugate_gradient(lambda v: a @ v, b, max_iter=50, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_exact_in_n_steps(self):
+        a = self._spd(4, seed=1)
+        b = np.ones(4)
+        res = conjugate_gradient(lambda v: a @ v, b, max_iter=4, tol=1e-14)
+        np.testing.assert_allclose(res.x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_zero_rhs_immediate(self):
+        a = self._spd(3)
+        res = conjugate_gradient(lambda v: a @ v, np.zeros(3))
+        assert res.converged and res.iterations == 0
+
+    def test_warm_start_at_solution(self):
+        a = self._spd(4, seed=2)
+        b = np.ones(4)
+        x_true = np.linalg.solve(a, b)
+        res = conjugate_gradient(lambda v: a @ v, b, x0=x_true, max_iter=5)
+        assert res.iterations == 0
+        np.testing.assert_allclose(res.x, x_true)
+
+    def test_damping_solves_damped_system(self):
+        a = self._spd(4, seed=3)
+        b = np.ones(4)
+        res = conjugate_gradient(lambda v: a @ v, b, max_iter=50, damping=2.0, tol=1e-12)
+        np.testing.assert_allclose(
+            res.x, np.linalg.solve(a + 2.0 * np.eye(4), b), atol=1e-8
+        )
+
+    def test_negative_curvature_bails_gracefully(self):
+        a = -np.eye(3)  # negative definite
+        b = np.ones(3)
+        res = conjugate_gradient(lambda v: a @ v, b, max_iter=10)
+        assert np.all(np.isfinite(res.x))
+        assert not res.converged
+
+    def test_budget_respected(self):
+        a = self._spd(20, seed=4)
+        b = np.ones(20)
+        res = conjugate_gradient(lambda v: a @ v, b, max_iter=3, tol=1e-16)
+        assert res.iterations == 3
+
+
+class TestNeumann:
+    def test_matches_inverse_for_contractive_system(self):
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((4, 4))
+        a = q @ q.T + 4 * np.eye(4)
+        lr = 0.9 / np.linalg.eigvalsh(a).max()
+        v = rng.standard_normal(4)
+        approx = neumann_inverse_hvp(lambda p: a @ p, v, terms=800, lr=lr)
+        np.testing.assert_allclose(approx, np.linalg.solve(a, v), atol=1e-6)
+
+    def test_zero_terms_is_lr_scaled_identity(self):
+        v = np.array([1.0, -2.0])
+        out = neumann_inverse_hvp(lambda p: p * 100, v, terms=0, lr=0.05)
+        np.testing.assert_allclose(out, 0.05 * v)
+
+    def test_negative_terms_raises(self):
+        with pytest.raises(ValueError):
+            neumann_inverse_hvp(lambda p: p, np.ones(2), terms=-1, lr=0.1)
+
+    def test_partial_sum_monotone_for_spd(self):
+        """More terms -> closer to the true inverse application."""
+        a = np.diag([1.0, 2.0, 4.0])
+        v = np.ones(3)
+        truth = np.linalg.solve(a, v)
+        lr = 0.2
+        errs = [
+            np.linalg.norm(neumann_inverse_hvp(lambda p: a @ p, v, k, lr) - truth)
+            for k in (1, 5, 25, 125)
+        ]
+        assert errs == sorted(errs, reverse=True)

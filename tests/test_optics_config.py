@@ -1,0 +1,92 @@
+"""Tests for OpticalConfig presets and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.optics import OpticalConfig
+
+
+class TestDefaults:
+    def test_paper_constants(self):
+        cfg = OpticalConfig()
+        assert cfg.wavelength_nm == 193.0
+        assert cfg.na == 1.35
+        assert cfg.sigma_out == 0.95
+        assert cfg.sigma_in == 0.63
+        assert cfg.gamma == 1000.0
+        assert cfg.eta == 3000.0
+        assert cfg.socs_terms == 24
+        assert cfg.beta == 30.0
+        assert cfg.alpha_m == 9.0
+        assert cfg.alpha_j == 2.0
+
+    def test_cutoff_frequency(self):
+        cfg = OpticalConfig()
+        assert cfg.cutoff_freq == pytest.approx(1.35 / 193.0)
+
+    def test_pixel_size(self):
+        cfg = OpticalConfig(mask_size=128, tile_nm=2000.0)
+        assert cfg.pixel_nm == pytest.approx(15.625)
+        assert cfg.pixel_area_nm2 == pytest.approx(15.625**2)
+
+    def test_dose_brackets_nominal(self):
+        with pytest.raises(ValueError):
+            OpticalConfig(dose_min=1.01)
+        with pytest.raises(ValueError):
+            OpticalConfig(dose_max=0.99)
+
+    def test_sigma_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            OpticalConfig(sigma_in=0.96, sigma_out=0.95)
+        with pytest.raises(ValueError):
+            OpticalConfig(sigma_out=1.2)
+
+    def test_positive_grids(self):
+        with pytest.raises(ValueError):
+            OpticalConfig(mask_size=0)
+
+
+class TestPresets:
+    def test_paper_preset(self):
+        cfg = OpticalConfig.preset("paper")
+        assert cfg.mask_size == 2048
+        assert cfg.source_size == 35
+
+    def test_all_presets_sample_validly(self):
+        for name in ("paper", "default", "small", "tiny"):
+            OpticalConfig.preset(name).validate_sampling()
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            OpticalConfig.preset("huge")
+
+    def test_with_update(self):
+        cfg = OpticalConfig.preset("tiny").with_(beta=50.0)
+        assert cfg.beta == 50.0
+        assert cfg.mask_size == OpticalConfig.preset("tiny").mask_size
+
+
+class TestGrids:
+    def test_freq_axes_fftfreq_layout(self):
+        cfg = OpticalConfig.preset("tiny")
+        f, g = cfg.freq_axes()
+        np.testing.assert_allclose(f, np.fft.fftfreq(cfg.mask_size, d=cfg.pixel_nm))
+        assert f[0] == 0.0
+
+    def test_freq_grid_shapes(self):
+        cfg = OpticalConfig.preset("tiny")
+        fx, fy = cfg.freq_grid()
+        assert fx.shape == (cfg.mask_size, cfg.mask_size)
+        # xy indexing: fx varies along columns, fy along rows
+        assert fx[0, 1] != fx[0, 0] or cfg.mask_size == 1
+        assert fy[1, 0] != fy[0, 0]
+
+    def test_source_axes_span_unit(self):
+        ax = OpticalConfig.preset("tiny").source_sigma_axes()
+        assert ax[0] == -1.0
+        assert ax[-1] == 1.0
+
+    def test_undersampled_grid_rejected(self):
+        cfg = OpticalConfig(mask_size=16, tile_nm=2000.0)
+        with pytest.raises(ValueError):
+            cfg.validate_sampling()

@@ -1,0 +1,97 @@
+"""Tests for source grids and illumination templates."""
+
+import numpy as np
+import pytest
+
+from repro.optics import (
+    OpticalConfig,
+    SourceGrid,
+    annular,
+    coherent_point,
+    conventional,
+    dipole,
+    quasar,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return SourceGrid.from_config(OpticalConfig(source_size=13))
+
+
+class TestSourceGrid:
+    def test_shape(self, grid):
+        assert grid.shape == (13, 13)
+
+    def test_valid_is_unit_disc(self, grid):
+        r = np.hypot(grid.sigma_x, grid.sigma_y)
+        assert np.array_equal(grid.valid, r <= 1.0 + 1e-12)
+
+    def test_corners_invalid(self, grid):
+        assert not grid.valid[0, 0]
+        assert not grid.valid[-1, -1]
+
+    def test_centre_valid(self, grid):
+        assert grid.valid[6, 6]
+
+    def test_freq_offsets_scale(self, grid):
+        cfg = OpticalConfig(source_size=13)
+        ox, oy = grid.freq_offsets(cfg)
+        assert len(ox) == grid.num_valid
+        assert np.abs(ox).max() <= cfg.cutoff_freq + 1e-12
+
+
+class TestTemplates:
+    def test_annular_ring_only(self, grid):
+        src = annular(grid, 0.95, 0.63)
+        r = np.hypot(grid.sigma_x, grid.sigma_y)
+        lit = src > 0
+        assert np.all(r[lit] >= 0.63)
+        assert np.all(r[lit] <= 0.95)
+        assert lit.sum() > 0
+
+    def test_annular_empty_raises(self):
+        small = SourceGrid.from_config(OpticalConfig(source_size=3))
+        with pytest.raises(ValueError):
+            annular(small, 0.66, 0.63)
+
+    def test_quasar_subset_of_annulus(self, grid):
+        q = quasar(grid, 0.95, 0.4, opening_deg=60)
+        a = annular(grid, 0.95, 0.4)
+        assert np.all(a[q > 0] == 1.0)
+        assert q.sum() < a.sum()
+
+    def test_quasar_fourfold_symmetric(self, grid):
+        q = quasar(grid, 0.95, 0.3, opening_deg=90)
+        np.testing.assert_array_equal(q, np.rot90(q))
+
+    def test_dipole_axes(self, grid):
+        dx = dipole(grid, 0.95, 0.4, axis="x", opening_deg=60)
+        dy = dipole(grid, 0.95, 0.4, axis="y", opening_deg=60)
+        assert dx.sum() == dy.sum()  # symmetric grids
+        assert not np.array_equal(dx, dy)
+        np.testing.assert_array_equal(dx, np.rot90(dy))
+
+    def test_dipole_bad_axis(self, grid):
+        with pytest.raises(ValueError):
+            dipole(grid, 0.95, 0.4, axis="z")
+
+    def test_conventional_disc(self, grid):
+        c = conventional(grid, 0.6)
+        r = np.hypot(grid.sigma_x, grid.sigma_y)
+        assert np.all(r[c > 0] <= 0.6)
+
+    def test_coherent_point_single(self, grid):
+        p = coherent_point(grid)
+        assert p.sum() == 1.0
+        idx = np.unravel_index(np.argmax(p), p.shape)
+        assert np.hypot(grid.sigma_x[idx], grid.sigma_y[idx]) < 0.2
+
+    def test_templates_binary(self, grid):
+        for src in (
+            annular(grid, 0.95, 0.63),
+            quasar(grid, 0.95, 0.4),
+            dipole(grid, 0.95, 0.4),
+            conventional(grid, 0.8),
+        ):
+            assert set(np.unique(src)) <= {0.0, 1.0}

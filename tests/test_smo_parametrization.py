@@ -1,0 +1,87 @@
+"""Tests for Table 1 parametrizations and initializations."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.optics import OpticalConfig
+from repro.smo import (
+    cosine_activation,
+    init_theta_mask,
+    init_theta_source,
+    mask_from_theta,
+    mask_from_theta_cosine,
+    source_from_theta,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return OpticalConfig.preset("tiny")
+
+
+class TestMaskParametrization:
+    def test_init_signs(self, cfg):
+        target = np.array([[1.0, 0.0], [0.0, 1.0]])
+        theta = init_theta_mask(target, cfg)
+        np.testing.assert_allclose(theta, [[cfg.m0, -cfg.m0], [-cfg.m0, cfg.m0]])
+
+    def test_initial_mask_tracks_target(self, cfg):
+        target = (np.random.default_rng(0).random((8, 8)) > 0.5).astype(float)
+        theta = init_theta_mask(target, cfg)
+        mask = mask_from_theta(ad.Tensor(theta), cfg).data
+        np.testing.assert_array_equal(mask >= 0.5, target >= 0.5)
+
+    def test_mask_near_binary_at_init(self, cfg):
+        # sigmoid(alpha_m * m0) = sigmoid(9) ~ 0.99988
+        theta = init_theta_mask(np.ones((2, 2)), cfg)
+        mask = mask_from_theta(ad.Tensor(theta), cfg).data
+        assert np.all(mask > 0.999)
+
+    def test_mask_range(self, cfg):
+        theta = ad.Tensor(np.linspace(-10, 10, 21))
+        mask = mask_from_theta(theta, cfg).data
+        assert mask.min() >= 0.0
+        assert mask.max() <= 1.0
+
+
+class TestSourceParametrization:
+    def test_init_signs(self, cfg):
+        template = np.array([[1.0, 0.0]])
+        theta = init_theta_source(template, cfg)
+        np.testing.assert_allclose(theta, [[cfg.j0, -cfg.j0]])
+
+    def test_grayscale_near_extremes_at_init(self, cfg):
+        # sigmoid(alpha_j * j0) = sigmoid(10) ~ 0.99995
+        theta = init_theta_source(np.array([[1.0, 0.0]]), cfg)
+        src = source_from_theta(ad.Tensor(theta), cfg).data
+        assert src[0, 0] > 0.9999
+        assert src[0, 1] < 0.0001
+
+    def test_source_remains_trainable(self, cfg):
+        """Gradient at the initialized value is small but nonzero."""
+        theta = ad.Tensor(
+            init_theta_source(np.ones((2, 2)), cfg), requires_grad=True
+        )
+        out = source_from_theta(theta, cfg)
+        (g,) = ad.grad(out.sum(), [theta])
+        assert np.all(g.data > 0)
+
+
+class TestCosineAblation:
+    def test_range(self, cfg):
+        theta = ad.Tensor(np.linspace(-5, 5, 50))
+        out = cosine_activation(theta, cfg.alpha_m).data
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_periodic_gradient_vanishes(self, cfg):
+        """The instability the paper cites: gradient zeros at k*pi/alpha."""
+        theta = ad.Tensor(np.array([np.pi / cfg.alpha_m]), requires_grad=True)
+        out = cosine_activation(theta, cfg.alpha_m)
+        (g,) = ad.grad(out.sum(), [theta])
+        assert abs(g.data[0]) < 1e-12
+
+    def test_mask_variant(self, cfg):
+        theta = ad.Tensor(np.zeros((2, 2)))
+        np.testing.assert_allclose(mask_from_theta_cosine(theta, cfg).data, 0.0)
