@@ -1,0 +1,109 @@
+"""Batched multi-tile Abbe evaluation vs. the per-tile Python loop.
+
+The tentpole claim of the ImagingEngine refactor: evaluating a layout
+suite as one ``(B, N, N)`` batch through the engine's fused multi-tile
+forward (plus the graph-free fast path) beats looping the single-tile
+engine over the suite — the acceptance bar is >= 2x for B = 8 tiles.
+
+Run like every other bench module, e.g.::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_batched_tiles.py \
+        --benchmark-json=batched_tiles.json
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.harness.runner import _annular_source
+from repro.layouts import dataset_by_name, tile_stack
+from repro.optics import cache, engine_for
+
+from conftest import BENCH_SCALE, BENCH_ITERS  # noqa: F401  (shared scale knobs)
+
+NUM_TILES = 8
+
+
+@pytest.fixture(scope="module")
+def setup(settings):
+    cfg = settings.config
+    ds = dataset_by_name("ICCAD13", num_clips=NUM_TILES)
+    tiles = tile_stack(list(ds), cfg)
+    source = _annular_source(cfg)
+    engine = engine_for(cfg, "abbe")
+    return engine, tiles, source
+
+
+def _per_tile_loop(engine, tiles, source):
+    """The status-quo consumer pattern: B independent single-tile passes."""
+    src = ad.Tensor(source)
+    with ad.no_grad():
+        return np.stack(
+            [engine.aerial(ad.Tensor(tile), src).data for tile in tiles]
+        )
+
+
+def test_per_tile_loop(benchmark, setup):
+    engine, tiles, source = setup
+    benchmark(lambda: _per_tile_loop(engine, tiles, source))
+    benchmark.extra_info["tiles"] = NUM_TILES
+
+
+def test_batched_fast_path(benchmark, setup):
+    engine, tiles, source = setup
+    benchmark(lambda: engine.aerial_fast(tiles, source))
+    benchmark.extra_info["tiles"] = NUM_TILES
+    benchmark.extra_info["source_points"] = engine.num_source_points
+
+
+def test_batched_graph_path(benchmark, setup):
+    """Differentiable fused (B*S, N, N) stack (for batched optimization)."""
+    engine, tiles, source = setup
+    src = ad.Tensor(source)
+    stack = ad.Tensor(tiles)
+    with ad.no_grad():
+        benchmark(lambda: engine.aerial(stack, src).data)
+
+
+def test_engine_cache_warm_start(benchmark, setup):
+    """Second engine for an identical config: cache hit, no pupil rebuild."""
+    engine, _, _ = setup
+    cfg = engine.config
+
+    def rebuild():
+        return engine_for(cfg, "abbe")
+
+    benchmark(rebuild)
+    assert rebuild() is engine
+    stats = cache.stats()["abbe_engine"]
+    benchmark.extra_info["engine_hits"] = stats["hits"]
+    assert stats["hits"] > 0 and stats["misses"] <= 1
+
+
+def test_batched_speedup_and_parity(setup):
+    """The acceptance bar: batched >= 2x over the loop, identical images."""
+    engine, tiles, source = setup
+    loop_result = _per_tile_loop(engine, tiles, source)
+    fast_result = engine.aerial_fast(tiles, source)
+    np.testing.assert_allclose(fast_result, loop_result, atol=1e-10)
+
+    def best_of(fn, rounds=3):
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_loop = best_of(lambda: _per_tile_loop(engine, tiles, source))
+    t_batch = best_of(lambda: engine.aerial_fast(tiles, source))
+    speedup = t_loop / t_batch
+    print(
+        f"\nbatched tiles: B={NUM_TILES} loop={t_loop * 1e3:.1f} ms "
+        f"batched={t_batch * 1e3:.1f} ms speedup={speedup:.2f}x"
+    )
+    assert speedup >= 2.0, f"batched path only {speedup:.2f}x over the loop"

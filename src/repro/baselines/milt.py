@@ -93,6 +93,9 @@ class MultiLevelILT:
                 theta = self._upsample_theta(
                     theta, cfg.mask_size // theta.shape[0]
                 )
+            # The per-level engine resolves through the optics cache, so a
+            # harness sweep re-running MILT on many clips decomposes each
+            # level's TCC once instead of once per clip.
             objective = HopkinsMOObjective(cfg, tgt, self.source, self.num_kernels)
             opt = make_optimizer(self.optimizer, self.lr)
             iters = per_level if li < n_levels - 1 else iterations - per_level * (n_levels - 1)

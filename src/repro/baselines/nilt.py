@@ -20,7 +20,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from ..opt import make_optimizer
-from ..optics import HopkinsImaging, OpticalConfig
+from ..optics import OpticalConfig, engine_for
 from ..smo.objective import dose_resist
 from ..smo.parametrization import init_theta_mask, mask_from_theta
 from ..smo.state import IterationRecord, SMOResult
@@ -44,7 +44,9 @@ class NILTBaseline:
     ):
         self.config = config
         self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
-        self.engine = HopkinsImaging(config, source, num_kernels)
+        # Shared SOCS engine from the optics cache: repeated NILT runs on
+        # one (config, source) pair decompose the TCC exactly once.
+        self.engine = engine_for(config, "hopkins", source=source, num_kernels=num_kernels)
         self._opt = make_optimizer(optimizer, lr)
 
     def _loss(self, theta_m: ad.Tensor) -> ad.Tensor:

@@ -5,6 +5,7 @@ from .runner import (
     METHOD_ORDER,
     RunRecord,
     RunSettings,
+    batched_objective,
     evaluate_final,
     run_clip,
     run_matrix,
@@ -20,6 +21,7 @@ __all__ = [
     "run_clip",
     "run_matrix",
     "evaluate_final",
+    "batched_objective",
     "TableData",
     "table3",
     "table4",

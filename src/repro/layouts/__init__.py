@@ -12,6 +12,7 @@ from .datasets import (
     iccad13,
     iccad_l,
     ispd19,
+    tile_stack,
 )
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "clip_area",
     "Clip",
     "Dataset",
+    "tile_stack",
     "iccad13",
     "iccad_l",
     "ispd19",

@@ -17,14 +17,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple
 
-from ..geometry import Rect
+import numpy as np
+
+from ..geometry import GridSpec, Rect, rasterize
 from .synth import ClipStyle, clip_area, generate_clip
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from ..optics.config import OpticalConfig
 
 __all__ = [
     "Clip",
     "Dataset",
+    "tile_stack",
     "iccad13",
     "iccad_l",
     "ispd19",
@@ -68,6 +74,35 @@ class Dataset:
     @property
     def average_area_nm2(self) -> float:
         return sum(c.area_nm2 for c in self.clips) / len(self.clips)
+
+    def tile_stack(self, config: "OpticalConfig") -> np.ndarray:
+        """Rasterize every clip into one ``(B, N, N)`` target batch."""
+        return tile_stack(self.clips, config)
+
+
+def tile_stack(clips: Sequence[Clip], config: "OpticalConfig") -> np.ndarray:
+    """Rasterize ``clips`` into a ``(B, N, N)`` binary target stack.
+
+    This is the batched-run companion of the harness' per-clip target
+    rasterization: the result feeds directly into
+    :class:`repro.smo.BatchedSMOObjective` and the engines' multi-tile
+    ``aerial`` path.  Every clip must match the optical tile size.
+    """
+    from ..optics.resist import binarize
+
+    clips = list(clips)
+    if not clips:
+        raise ValueError("tile_stack needs at least one clip")
+    grid = GridSpec(config.mask_size, config.pixel_nm)
+    stack = np.empty((len(clips), config.mask_size, config.mask_size))
+    for i, clip in enumerate(clips):
+        if abs(clip.tile_nm - config.tile_nm) > 1e-9:
+            raise ValueError(
+                f"clip {clip.name!r} tile {clip.tile_nm} nm != optical tile "
+                f"{config.tile_nm} nm"
+            )
+        stack[i] = binarize(rasterize(clip.rects, grid))
+    return stack
 
 
 _STYLES: Dict[str, ClipStyle] = {

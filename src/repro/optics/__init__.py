@@ -1,5 +1,7 @@
 """Lithography simulation substrate: optical configuration, source
-templates, pupil, Abbe and Hopkins/SOCS imaging engines, resist model."""
+templates, pupil, the unified :class:`ImagingEngine` protocol with its
+Abbe and Hopkins/SOCS implementations, the shared optics cache, and the
+resist model."""
 
 from .config import OpticalConfig
 from .source import (
@@ -11,9 +13,11 @@ from .source import (
     quasar,
 )
 from .pupil import defocus_phase, defocused_pupil_stack, pupil, shifted_pupil_stack
+from .engine import ImagingEngine, as_tile_batch, engine_for, incoherent_sum_fast
 from .abbe import AbbeImaging
 from .hopkins import HopkinsImaging, build_tcc, socs_kernels
 from .resist import binarize, calibrate_threshold, printed_area_nm2, resist_image
+from . import cache
 
 __all__ = [
     "OpticalConfig",
@@ -27,6 +31,10 @@ __all__ = [
     "shifted_pupil_stack",
     "defocus_phase",
     "defocused_pupil_stack",
+    "ImagingEngine",
+    "as_tile_batch",
+    "engine_for",
+    "incoherent_sum_fast",
     "AbbeImaging",
     "HopkinsImaging",
     "build_tcc",
@@ -35,4 +43,5 @@ __all__ = [
     "binarize",
     "printed_area_nm2",
     "calibrate_threshold",
+    "cache",
 ]

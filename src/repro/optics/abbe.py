@@ -8,12 +8,18 @@ coherent image intensity:
 Because every source point's contribution is independent, the whole sum
 is evaluated as ONE batched FFT over a ``(S, N, N)`` stack — the same
 structure the paper exploits on a GPU (Section 3.1 "Abbe acceleration").
-A per-point Python loop (:meth:`AbbeImaging.aerial_loop`) is kept for the
-acceleration benchmark.
+The engine extends that idea across layout tiles: a ``(B, N, N)`` mask
+batch is imaged as a single fused ``(B*S, N, N)`` FFT stack instead of B
+independent passes.  A per-point Python loop
+(:meth:`AbbeImaging.aerial_loop`) is kept for the acceleration benchmark.
 
 Total intensity is normalized by the summed source weight so a clear
 field images at intensity 1 for any source shape; this keeps a single
 resist threshold meaningful while the source is being optimized.
+
+``AbbeImaging`` implements the :class:`repro.optics.engine.ImagingEngine`
+protocol; pupil stacks come from the shared :mod:`repro.optics.cache`
+unless a custom source grid is supplied.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from .config import OpticalConfig
-from .pupil import shifted_pupil_stack
+from .engine import MaskLike, as_tile_batch, incoherent_sum_fast
 from .source import SourceGrid
 
 __all__ = ["AbbeImaging"]
@@ -41,7 +47,9 @@ class AbbeImaging:
     config:
         Optical configuration; grids are derived from it.
     source_grid:
-        Optional pre-built :class:`SourceGrid` (defaults to the config's).
+        Optional pre-built :class:`SourceGrid`.  When omitted, the grid
+        and the shifted pupil stack are fetched from the shared optics
+        cache, so engines with equal configs share one stack.
 
     Both :meth:`aerial` arguments are autodiff tensors, so gradients flow
     to the mask *and* the source — the property that Hopkins/SOCS lacks
@@ -57,37 +65,90 @@ class AbbeImaging:
         config.validate_sampling()
         self.config = config
         self.defocus_nm = float(defocus_nm)
-        self.source_grid = source_grid or SourceGrid.from_config(config)
-        if self.defocus_nm == 0.0:
-            stack, valid_index = shifted_pupil_stack(config, self.source_grid)
-        else:
-            from .pupil import defocused_pupil_stack
+        if source_grid is None:
+            from . import cache
 
-            stack, valid_index = defocused_pupil_stack(
-                config, self.source_grid, self.defocus_nm
+            self.source_grid = cache.source_grid(config)
+            self._pupil_stack, self._valid_index = cache.pupil_stack(
+                config, self.defocus_nm
             )
-        self._pupil_stack = ad.Tensor(stack)
-        self._valid_index = valid_index
-        self.num_source_points = stack.shape[0]
+        else:
+            self.source_grid = source_grid
+            if self.defocus_nm == 0.0:
+                from .pupil import shifted_pupil_stack
+
+                stack, valid_index = shifted_pupil_stack(config, self.source_grid)
+            else:
+                from .pupil import defocused_pupil_stack
+
+                stack, valid_index = defocused_pupil_stack(
+                    config, self.source_grid, self.defocus_nm
+                )
+            self._pupil_stack = ad.Tensor(stack)
+            self._valid_index = valid_index
+        self.num_source_points = self._pupil_stack.shape[0]
 
     # ------------------------------------------------------------------
     def source_weights(self, source: ad.Tensor) -> ad.Tensor:
         """Extract the valid-point weight vector ``j_s`` from a source image."""
         return F.getitem(source, self._valid_index)
 
-    def aerial(self, mask: ad.Tensor, source: ad.Tensor) -> ad.Tensor:
-        """Aerial image intensity for mask (N,N) and source (N_j,N_j).
+    def aerial(self, mask: ad.Tensor, source: Optional[ad.Tensor] = None) -> ad.Tensor:
+        """Aerial image intensity for mask(s) and source (N_j, N_j).
 
-        Differentiable w.r.t. both arguments.  Intensity is normalized by
-        the total source weight (clear field -> 1.0).
+        ``mask`` is a single ``(N, N)`` tile or a ``(B, N, N)`` tile
+        batch (a batch returns ``(B, N, N)`` intensities).  Differentiable
+        w.r.t. both arguments; intensity is normalized by the total
+        source weight (clear field -> 1.0).
         """
+        if source is None:
+            raise ValueError("AbbeImaging.aerial requires a source image")
         j = self.source_weights(source)
-        fm = F.fft2(mask)
-        fields = F.ifft2(F.mul(self._pupil_stack, fm))  # (S, N, N)
-        intensities = F.abs2(fields)
-        jw = F.reshape(j, (self.num_source_points, 1, 1))
-        total = F.sum(F.mul(jw, intensities), axis=0)
-        return F.div(total, F.add(F.sum(j), _EPS))
+        norm = F.add(F.sum(j), _EPS)
+        s = self.num_source_points
+        if mask.ndim == 2:
+            fm = F.fft2(mask)
+            fields = F.ifft2(F.mul(self._pupil_stack, fm))  # (S, N, N)
+            intensities = F.abs2(fields)
+            jw = F.reshape(j, (s, 1, 1))
+            total = F.sum(F.mul(jw, intensities), axis=0)
+            return F.div(total, norm)
+        if mask.ndim != 3:
+            raise ValueError(f"mask must be (N, N) or (B, N, N); got {mask.shape}")
+        b, n = mask.shape[0], mask.shape[-1]
+        fm = F.fft2(mask)  # (B, N, N)
+        spectra = F.mul(
+            F.reshape(self._pupil_stack, (1, s, n, n)),
+            F.reshape(fm, (b, 1, n, n)),
+        )
+        # One fused (B*S, N, N) stack: the whole batch rides a single
+        # vectorized inverse FFT instead of B independent passes.
+        fields = F.ifft2(F.reshape(spectra, (b * s, n, n)))
+        intensities = F.reshape(F.abs2(fields), (b, s, n, n))
+        jw = F.reshape(j, (1, s, 1, 1))
+        total = F.sum(F.mul(jw, intensities), axis=1)  # (B, N, N)
+        return F.div(total, norm)
+
+    def aerial_fast(
+        self, mask: MaskLike, source: Optional[MaskLike] = None
+    ) -> np.ndarray:
+        """Inference fast path: no autodiff graph, zero-weight points pruned.
+
+        Numerically matches :meth:`aerial` (pruning a source point whose
+        weight is exactly zero is exact), operates on plain numpy arrays
+        and returns one.  This is the path behind ``images()``, metric
+        evaluation and the harness judge.
+        """
+        if source is None:
+            raise ValueError("AbbeImaging.aerial_fast requires a source image")
+        src = source.data if isinstance(source, ad.Tensor) else np.asarray(source)
+        src = np.asarray(src, dtype=np.float64)
+        tiles, single = as_tile_batch(mask, self.config.mask_size)
+        j = src[self._valid_index]
+        out = incoherent_sum_fast(
+            tiles, self._pupil_stack.data, j, float(j.sum()) + _EPS
+        )
+        return out[0] if single else out
 
     def aerial_loop(self, mask: ad.Tensor, source: ad.Tensor) -> ad.Tensor:
         """Reference per-source-point loop (slow path).
@@ -109,7 +170,7 @@ class AbbeImaging:
     # ------------------------------------------------------------------
     def clear_field_intensity(self, source: np.ndarray) -> float:
         """Nominal intensity of a fully open mask (sanity-check helper)."""
-        with ad.no_grad():
-            mask = ad.Tensor(np.ones((self.config.mask_size,) * 2))
-            img = self.aerial(mask, ad.Tensor(source))
-        return float(img.data.mean())
+        img = self.aerial_fast(
+            np.ones((self.config.mask_size,) * 2), np.asarray(source)
+        )
+        return float(img.mean())

@@ -1,0 +1,277 @@
+"""Shared optics cache — one build per :class:`OpticalConfig`, everywhere.
+
+Every imaging consumer (Abbe / Hopkins engines, SMO objectives, the
+baselines, the harness) used to rebuild pupil stacks, frequency grids
+and SOCS decompositions per instance.  Because :class:`OpticalConfig` is
+a hashable frozen dataclass, all of those derived quantities can be
+memoized at module level and shared across engine instances: a second
+engine for an identical configuration performs no recomputation.
+
+Keys are restricted to the *physically relevant* fields (two configs
+differing only in loss weights share one pupil stack).  Cached arrays
+are returned read-only so a consumer cannot corrupt another's view, and
+SOCS entries — whose key includes the source pixels — live in a bounded
+LRU so alternating-minimization source rebuilds cannot grow the cache
+without limit.
+
+Hit/miss counters per category are exposed through :func:`stats` and
+asserted by the cache tests; :func:`clear` resets everything (used by
+benchmarks to measure cold-start costs).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .config import OpticalConfig
+from .source import SourceGrid
+
+__all__ = [
+    "freq_axes",
+    "freq_grid",
+    "source_grid",
+    "pupil_stack",
+    "socs",
+    "abbe_engine",
+    "hopkins_engine",
+    "stats",
+    "reset_stats",
+    "clear",
+    "CACHE_MAXSIZE",
+]
+
+#: Per-category LRU capacity (entry count).  Config-keyed categories
+#: stay tiny in practice; the bound matters for source-keyed entries.
+CACHE_MAXSIZE = 32
+
+#: Byte budget for SOCS kernel stacks, the one category whose entries
+#: are both large and keyed on transient data (AM-style source rebuilds
+#: hit it with a fresh source every round).  The newest entry is always
+#: retained, so a single decomposition larger than the budget behaves
+#: like the uncached pre-sharing code: one live copy, no pile-up.
+SOCS_BUDGET_BYTES = 256 * 1024**2
+
+_LOCK = threading.RLock()
+_CACHES: Dict[str, "OrderedDict[Hashable, Tuple[Any, int]]"] = {}
+_STATS: Dict[str, Dict[str, int]] = {}
+
+
+def _lookup(
+    category: str,
+    key: Hashable,
+    build: Callable[[], Any],
+    weigh: Optional[Callable[[Any], int]] = None,
+    budget: int = CACHE_MAXSIZE,
+) -> Any:
+    """LRU get-or-build with per-category hit/miss accounting.
+
+    Entries weigh 1 against an entry-count budget unless ``weigh`` maps
+    a value to its cost (e.g. bytes) against a matching ``budget``.
+    ``build`` runs outside the lock so a slow miss (a TCC
+    eigendecomposition takes seconds at scale) cannot stall unrelated
+    categories; concurrent builders of one key race benignly — the
+    values are deterministic and the first insert wins.
+    """
+    with _LOCK:
+        cache = _CACHES.setdefault(category, OrderedDict())
+        stat = _STATS.setdefault(category, {"hits": 0, "misses": 0})
+        if key in cache:
+            stat["hits"] += 1
+            cache.move_to_end(key)
+            return cache[key][0]
+        stat["misses"] += 1
+    value = build()
+    weight = weigh(value) if weigh is not None else 1
+    with _LOCK:
+        if key in cache:  # a concurrent builder got here first
+            return cache[key][0]
+        cache[key] = (value, weight)
+        total = sum(w for _, w in cache.values())
+        while total > budget and len(cache) > 1:
+            _, (_, evicted) = cache.popitem(last=False)
+            total -= evicted
+        return value
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    """Mark a cached array read-only (shared across consumers)."""
+    arr.setflags(write=False)
+    return arr
+
+
+# ----------------------------------------------------------------------
+# cache keys: only the fields the cached quantity actually depends on
+# ----------------------------------------------------------------------
+def _grid_key(config: OpticalConfig) -> Tuple:
+    return (config.mask_size, config.tile_nm)
+
+
+def _pupil_key(config: OpticalConfig) -> Tuple:
+    return (
+        config.mask_size,
+        config.tile_nm,
+        config.source_size,
+        config.wavelength_nm,
+        config.na,
+    )
+
+
+def _source_key(source: np.ndarray) -> Tuple:
+    arr = np.ascontiguousarray(source, dtype=np.float64)
+    return (arr.shape, arr.tobytes())
+
+
+# ----------------------------------------------------------------------
+# frequency grids
+# ----------------------------------------------------------------------
+def freq_axes(config: OpticalConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized FFT frequency axes (1/nm) for the mask grid."""
+
+    def build() -> Tuple[np.ndarray, np.ndarray]:
+        f = _freeze(np.fft.fftfreq(config.mask_size, d=config.pixel_nm))
+        return f, f
+
+    return _lookup("freq_axes", _grid_key(config), build)
+
+
+def freq_grid(config: OpticalConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Memoized meshed (fx, fy) frequency grids, shape (N_m, N_m)."""
+
+    def build() -> Tuple[np.ndarray, np.ndarray]:
+        f, g = freq_axes(config)
+        fx, fy = np.meshgrid(f, g, indexing="xy")
+        return _freeze(fx), _freeze(fy)
+
+    return _lookup("freq_grid", _grid_key(config), build)
+
+
+def source_grid(config: OpticalConfig) -> SourceGrid:
+    """Memoized default :class:`SourceGrid` for a configuration."""
+    return _lookup(
+        "source_grid",
+        (config.source_size,),
+        lambda: SourceGrid.from_config(config),
+    )
+
+
+# ----------------------------------------------------------------------
+# pupil stacks (Abbe) and SOCS decompositions (Hopkins)
+# ----------------------------------------------------------------------
+def pupil_stack(config: OpticalConfig, defocus_nm: float = 0.0):
+    """Memoized shifted pupil stack wrapped as an autodiff leaf tensor.
+
+    Returns ``(stack_tensor, valid_index)`` exactly as
+    :func:`repro.optics.pupil.shifted_pupil_stack` does, but the tensor
+    object itself is shared: every :class:`AbbeImaging` built for an
+    equivalent config holds the *same* ``(S, N, N)`` stack.
+    """
+    from .. import autodiff as ad
+    from .pupil import defocused_pupil_stack, shifted_pupil_stack
+
+    def build():
+        grid = source_grid(config)
+        if defocus_nm == 0.0:
+            stack, valid_index = shifted_pupil_stack(config, grid)
+        else:
+            stack, valid_index = defocused_pupil_stack(config, grid, defocus_nm)
+        _freeze(stack)
+        return ad.Tensor(stack), tuple(_freeze(ix) for ix in valid_index)
+
+    return _lookup("pupil_stack", _pupil_key(config) + (float(defocus_nm),), build)
+
+
+def socs(
+    config: OpticalConfig,
+    source: np.ndarray,
+    num_kernels: Optional[int] = None,
+):
+    """Memoized SOCS decomposition ``(weights, kernel_tensor, tcc_trace)``.
+
+    The key includes the source pixels, so AM-SMO style source rebuilds
+    create new entries (bounded by ``SOCS_BUDGET_BYTES``, newest entry
+    always kept) while repeated construction for a fixed source — e.g.
+    every Hopkins baseline in a harness sweep — decomposes the TCC once.
+    """
+    from .. import autodiff as ad
+    from .hopkins import socs_kernels
+
+    q = num_kernels or config.socs_terms
+    key = _pupil_key(config) + (q,) + _source_key(source)
+
+    def build():
+        weights, kernels, tcc_trace = socs_kernels(config, source, q, source_grid(config))
+        return _freeze(weights), ad.Tensor(_freeze(kernels)), tcc_trace
+
+    return _lookup(
+        "socs",
+        key,
+        build,
+        weigh=lambda entry: entry[1].data.nbytes,
+        budget=SOCS_BUDGET_BYTES,
+    )
+
+
+# ----------------------------------------------------------------------
+# shared engine instances
+# ----------------------------------------------------------------------
+def abbe_engine(config: OpticalConfig, defocus_nm: float = 0.0):
+    """Shared :class:`AbbeImaging` instance for a configuration.
+
+    Engines are stateless after construction, so one instance can back
+    any number of objectives / harness evaluations concurrently.
+    """
+    from .abbe import AbbeImaging
+
+    return _lookup(
+        "abbe_engine",
+        (config, float(defocus_nm)),
+        lambda: AbbeImaging(config, defocus_nm=defocus_nm),
+    )
+
+
+def hopkins_engine(
+    config: OpticalConfig,
+    source: np.ndarray,
+    num_kernels: Optional[int] = None,
+):
+    """Shared :class:`HopkinsImaging` instance for (config, source, Q)."""
+    from .hopkins import HopkinsImaging
+
+    q = num_kernels or config.socs_terms
+    # Engines pin their kernel stacks, so they share the SOCS byte
+    # budget — otherwise evicted decompositions would stay alive here.
+    return _lookup(
+        "hopkins_engine",
+        (config, q) + _source_key(source),
+        lambda: HopkinsImaging(config, source, q),
+        weigh=lambda engine: engine._kernel_stack.data.nbytes,
+        budget=SOCS_BUDGET_BYTES,
+    )
+
+
+# ----------------------------------------------------------------------
+# introspection / control
+# ----------------------------------------------------------------------
+def stats() -> Dict[str, Dict[str, int]]:
+    """Copy of the per-category hit/miss counters."""
+    with _LOCK:
+        return {k: dict(v) for k, v in _STATS.items()}
+
+
+def reset_stats() -> None:
+    """Zero the counters without dropping cached entries."""
+    with _LOCK:
+        for stat in _STATS.values():
+            stat["hits"] = 0
+            stat["misses"] = 0
+
+
+def clear() -> None:
+    """Drop every cached entry and reset the counters."""
+    with _LOCK:
+        _CACHES.clear()
+        _STATS.clear()

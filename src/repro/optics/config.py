@@ -79,14 +79,24 @@ class OpticalConfig:
         return self.pixel_nm**2
 
     def freq_axes(self) -> Tuple[np.ndarray, np.ndarray]:
-        """FFT frequency axes (1/nm) for the mask grid (fftfreq order)."""
-        f = np.fft.fftfreq(self.mask_size, d=self.pixel_nm)
-        return f, f
+        """FFT frequency axes (1/nm) for the mask grid (fftfreq order).
+
+        Memoized through :mod:`repro.optics.cache` (the axes are hit on
+        every pupil build, TCC assembly and geometry rasterization); the
+        returned arrays are shared and read-only.
+        """
+        from .cache import freq_axes
+
+        return freq_axes(self)
 
     def freq_grid(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Meshed (fx, fy) frequency grids, shape (N_m, N_m)."""
-        f, g = self.freq_axes()
-        return np.meshgrid(f, g, indexing="xy")
+        """Meshed (fx, fy) frequency grids, shape (N_m, N_m).
+
+        Memoized through :mod:`repro.optics.cache`; shared read-only arrays.
+        """
+        from .cache import freq_grid
+
+        return freq_grid(self)
 
     def source_sigma_axes(self) -> np.ndarray:
         """Normalized source coordinates sigma in [-1, 1] (length N_j)."""

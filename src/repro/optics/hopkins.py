@@ -25,6 +25,7 @@ import scipy.sparse.linalg
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from .config import OpticalConfig
+from .engine import MaskLike, as_tile_batch, incoherent_sum_fast
 from .source import SourceGrid
 
 __all__ = ["HopkinsImaging", "build_tcc", "socs_kernels"]
@@ -72,7 +73,7 @@ def socs_kernels(
     source: np.ndarray,
     num_kernels: Optional[int] = None,
     source_grid: Optional[SourceGrid] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[np.ndarray, np.ndarray, float]:
     """Top-Q SOCS eigenpairs of the TCC, embedded on the full freq grid.
 
     Returns ``(weights, kernels, tcc_trace)``: ``weights`` are the
@@ -104,6 +105,9 @@ def socs_kernels(
 class HopkinsImaging:
     """SOCS-truncated Hopkins imaging engine (mask-differentiable only).
 
+    Implements the :class:`repro.optics.engine.ImagingEngine` protocol
+    with a baked-in source (``aerial`` rejects a ``source`` argument).
+
     Parameters
     ----------
     config:
@@ -111,7 +115,8 @@ class HopkinsImaging:
     source:
         Fixed source magnitude image, shape ``(N_j, N_j)``.  Changing the
         source requires rebuilding the TCC (the inefficiency the paper's
-        Abbe framework removes).
+        Abbe framework removes).  The decomposition itself is shared
+        through :mod:`repro.optics.cache` unless a custom grid is given.
     num_kernels:
         SOCS truncation order Q; ``None`` uses ``config.socs_terms``;
         pass the full support size for a lossless (test) decomposition.
@@ -126,19 +131,68 @@ class HopkinsImaging:
     ):
         config.validate_sampling()
         self.config = config
-        weights, kernels, tcc_trace = socs_kernels(config, source, num_kernels, source_grid)
-        self.weights = weights
-        self.tcc_trace = tcc_trace
-        self._kernel_stack = ad.Tensor(kernels)  # (Q, N, N) real, fftfreq order
-        self.num_kernels = kernels.shape[0]
+        if source_grid is None:
+            from . import cache
 
-    def aerial(self, mask: ad.Tensor) -> ad.Tensor:
-        """Aerial image I = sum_q kappa_q |IFFT(Phi_q * FFT(M))|^2 (Eq. (4))."""
-        fm = F.fft2(mask)
-        fields = F.ifft2(F.mul(self._kernel_stack, fm))  # (Q, N, N)
-        intensities = F.abs2(fields)
-        kw = F.reshape(ad.Tensor(self.weights), (self.num_kernels, 1, 1))
-        return F.sum(F.mul(kw, intensities), axis=0)
+            self.weights, self._kernel_stack, self.tcc_trace = cache.socs(
+                config, source, num_kernels
+            )
+        else:
+            weights, kernels, tcc_trace = socs_kernels(
+                config, source, num_kernels, source_grid
+            )
+            self.weights = weights
+            self.tcc_trace = tcc_trace
+            self._kernel_stack = ad.Tensor(kernels)  # (Q, N, N), fftfreq order
+        self.num_kernels = self._kernel_stack.shape[0]
+        self._weight_tensor = ad.Tensor(self.weights)
+
+    def aerial(self, mask: ad.Tensor, source: Optional[ad.Tensor] = None) -> ad.Tensor:
+        """Aerial image I = sum_q kappa_q |IFFT(Phi_q * FFT(M))|^2 (Eq. (4)).
+
+        ``mask`` is a single ``(N, N)`` tile or a ``(B, N, N)`` batch
+        (one fused ``(B*Q, N, N)`` FFT stack).  ``source`` must be None:
+        the source is frozen into the TCC at construction.
+        """
+        if source is not None:
+            raise ValueError(
+                "HopkinsImaging bakes the source into the TCC; "
+                "rebuild the engine to change it"
+            )
+        q = self.num_kernels
+        if mask.ndim == 2:
+            fm = F.fft2(mask)
+            fields = F.ifft2(F.mul(self._kernel_stack, fm))  # (Q, N, N)
+            intensities = F.abs2(fields)
+            kw = F.reshape(self._weight_tensor, (q, 1, 1))
+            return F.sum(F.mul(kw, intensities), axis=0)
+        if mask.ndim != 3:
+            raise ValueError(f"mask must be (N, N) or (B, N, N); got {mask.shape}")
+        b, n = mask.shape[0], mask.shape[-1]
+        fm = F.fft2(mask)  # (B, N, N)
+        spectra = F.mul(
+            F.reshape(self._kernel_stack, (1, q, n, n)),
+            F.reshape(fm, (b, 1, n, n)),
+        )
+        fields = F.ifft2(F.reshape(spectra, (b * q, n, n)))
+        intensities = F.reshape(F.abs2(fields), (b, q, n, n))
+        kw = F.reshape(self._weight_tensor, (1, q, 1, 1))
+        return F.sum(F.mul(kw, intensities), axis=1)  # (B, N, N)
+
+    def aerial_fast(
+        self, mask: MaskLike, source: Optional[MaskLike] = None
+    ) -> np.ndarray:
+        """Graph-free inference path; zero eigenvalues are pruned (exact)."""
+        if source is not None:
+            raise ValueError(
+                "HopkinsImaging bakes the source into the TCC; "
+                "rebuild the engine to change it"
+            )
+        tiles, single = as_tile_batch(mask, self.config.mask_size)
+        out = incoherent_sum_fast(
+            tiles, self._kernel_stack.data, self.weights, 1.0
+        )
+        return out[0] if single else out
 
     @property
     def truncation_energy(self) -> float:

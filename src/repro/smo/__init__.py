@@ -12,6 +12,7 @@ from .parametrization import (
 )
 from .objective import (
     AbbeSMOObjective,
+    BatchedSMOObjective,
     HopkinsMOObjective,
     dose_resist,
     smo_loss_from_aerial,
@@ -39,6 +40,7 @@ __all__ = [
     "cosine_activation",
     "mask_from_theta_cosine",
     "AbbeSMOObjective",
+    "BatchedSMOObjective",
     "HopkinsMOObjective",
     "dose_resist",
     "smo_loss_from_aerial",

@@ -13,6 +13,12 @@ scales the whole aerial image by ``d^2`` *exactly*; we therefore image
 once and evaluate the three dose corners as ``sigmoid(beta * (d^2 * I -
 I_tr))``, which is algebraically identical to three forward passes but
 3x cheaper.
+
+All objectives consume any :class:`repro.optics.ImagingEngine`; default
+engines come from the shared optics cache, and every inference-only
+entry point (``images()``) rides the engines' graph-free fast path.
+:class:`BatchedSMOObjective` evaluates a whole ``(B, N, N)`` layout
+batch as one loss through the engines' fused multi-tile forward.
 """
 
 from __future__ import annotations
@@ -23,10 +29,17 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import functional as F
-from ..optics import AbbeImaging, HopkinsImaging, OpticalConfig, SourceGrid
+from ..optics import ImagingEngine, OpticalConfig, SourceGrid, engine_for
+from ..optics.abbe import AbbeImaging
 from .parametrization import mask_from_theta, source_from_theta
 
-__all__ = ["dose_resist", "smo_loss_from_aerial", "AbbeSMOObjective", "HopkinsMOObjective"]
+__all__ = [
+    "dose_resist",
+    "smo_loss_from_aerial",
+    "AbbeSMOObjective",
+    "HopkinsMOObjective",
+    "BatchedSMOObjective",
+]
 
 
 def dose_resist(aerial: ad.Tensor, config: OpticalConfig, dose: float) -> ad.Tensor:
@@ -38,7 +51,11 @@ def dose_resist(aerial: ad.Tensor, config: OpticalConfig, dose: float) -> ad.Ten
 def smo_loss_from_aerial(
     aerial: ad.Tensor, target: ad.Tensor, config: OpticalConfig
 ) -> ad.Tensor:
-    """gamma * L2 + eta * L_pvb evaluated from one aerial image."""
+    """gamma * L2 + eta * L_pvb evaluated from one aerial image.
+
+    Shapes broadcast: a ``(B, N, N)`` aerial/target pair yields the summed
+    loss over the whole batch (one scalar, one graph).
+    """
     z_nom = dose_resist(aerial, config, 1.0)
     z_min = dose_resist(aerial, config, config.dose_min)
     z_max = dose_resist(aerial, config, config.dose_max)
@@ -48,6 +65,20 @@ def smo_loss_from_aerial(
         F.sum(F.power(F.sub(z_min, target), 2.0)),
     )
     return F.add(F.mul(l2, config.gamma), F.mul(pvb, config.eta))
+
+
+def _resist_images_fast(
+    aerial_np: np.ndarray, config: OpticalConfig
+) -> Dict[str, np.ndarray]:
+    """Dose-corner resist images from a numpy aerial (no graph)."""
+    with ad.no_grad():
+        aerial = ad.Tensor(aerial_np)
+        return {
+            "aerial": aerial_np,
+            "resist": dose_resist(aerial, config, 1.0).data,
+            "resist_min": dose_resist(aerial, config, config.dose_min).data,
+            "resist_max": dose_resist(aerial, config, config.dose_max).data,
+        }
 
 
 class AbbeSMOObjective:
@@ -62,7 +93,7 @@ class AbbeSMOObjective:
         self,
         config: OpticalConfig,
         target: np.ndarray,
-        engine: Optional[AbbeImaging] = None,
+        engine: Optional[ImagingEngine] = None,
         source_grid: Optional[SourceGrid] = None,
     ):
         self.config = config
@@ -72,7 +103,12 @@ class AbbeSMOObjective:
                 f"({config.mask_size}, {config.mask_size})"
             )
         self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
-        self.engine = engine or AbbeImaging(config, source_grid)
+        if engine is not None:
+            self.engine = engine
+        elif source_grid is not None:
+            self.engine = AbbeImaging(config, source_grid)
+        else:
+            self.engine = engine_for(config, "abbe")
 
     def loss(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
         """L_smo as an autodiff scalar (differentiable in both thetas)."""
@@ -82,25 +118,19 @@ class AbbeSMOObjective:
         return smo_loss_from_aerial(aerial, self.target, self.config)
 
     def images(self, theta_j: np.ndarray, theta_m: np.ndarray) -> Dict[str, np.ndarray]:
-        """All intermediate images at the current parameters (no grads)."""
+        """All intermediate images at the current parameters.
+
+        Inference-only: the aerial image comes from the engine's
+        graph-free fast path.
+        """
         with ad.no_grad():
-            tj = ad.Tensor(theta_j)
-            tm = ad.Tensor(theta_m)
-            source = source_from_theta(tj, self.config)
-            mask = mask_from_theta(tm, self.config)
-            aerial = self.engine.aerial(mask, source)
-            z_nom = dose_resist(aerial, self.config, 1.0)
-            z_min = dose_resist(aerial, self.config, self.config.dose_min)
-            z_max = dose_resist(aerial, self.config, self.config.dose_max)
-        return {
-            "source": source.data,
-            "mask": mask.data,
-            "aerial": aerial.data,
-            "resist": z_nom.data,
-            "resist_min": z_min.data,
-            "resist_max": z_max.data,
-            "target": self.target.data,
-        }
+            source = source_from_theta(ad.Tensor(theta_j), self.config).data
+            mask = mask_from_theta(ad.Tensor(theta_m), self.config).data
+        images = _resist_images_fast(
+            self.engine.aerial_fast(mask, source), self.config
+        )
+        images.update(source=source, mask=mask, target=self.target.data)
+        return images
 
 
 class HopkinsMOObjective:
@@ -109,7 +139,8 @@ class HopkinsMOObjective:
     The source is frozen into the TCC at construction;
     :meth:`rebuild_source` re-assembles the TCC after an SO phase — the
     expensive, non-differentiable step that motivates the paper's
-    Abbe-only framework.
+    Abbe-only framework.  Engines resolve through the shared optics
+    cache, so a repeated (config, source, Q) triple decomposes once.
     """
 
     def __init__(
@@ -119,18 +150,28 @@ class HopkinsMOObjective:
         source: np.ndarray,
         num_kernels: Optional[int] = None,
         source_grid: Optional[SourceGrid] = None,
+        engine: Optional[ImagingEngine] = None,
     ):
         self.config = config
         self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
         self._source_grid = source_grid
         self._num_kernels = num_kernels
-        self.engine = HopkinsImaging(config, source, num_kernels, source_grid)
+        self.engine = engine or self._build_engine(source)
+
+    def _build_engine(self, source: np.ndarray) -> ImagingEngine:
+        if self._source_grid is not None:
+            from ..optics.hopkins import HopkinsImaging
+
+            return HopkinsImaging(
+                self.config, source, self._num_kernels, self._source_grid
+            )
+        return engine_for(
+            self.config, "hopkins", source=source, num_kernels=self._num_kernels
+        )
 
     def rebuild_source(self, source: np.ndarray) -> None:
         """Re-derive TCC + SOCS kernels for a new source (slow path)."""
-        self.engine = HopkinsImaging(
-            self.config, source, self._num_kernels, self._source_grid
-        )
+        self.engine = self._build_engine(source)
 
     def loss(self, theta_m: ad.Tensor) -> ad.Tensor:
         mask = mask_from_theta(theta_m, self.config)
@@ -139,16 +180,82 @@ class HopkinsMOObjective:
 
     def images(self, theta_m: np.ndarray) -> Dict[str, np.ndarray]:
         with ad.no_grad():
-            mask = mask_from_theta(ad.Tensor(theta_m), self.config)
-            aerial = self.engine.aerial(mask)
-            z_nom = dose_resist(aerial, self.config, 1.0)
-            z_min = dose_resist(aerial, self.config, self.config.dose_min)
-            z_max = dose_resist(aerial, self.config, self.config.dose_max)
-        return {
-            "mask": mask.data,
-            "aerial": aerial.data,
-            "resist": z_nom.data,
-            "resist_min": z_min.data,
-            "resist_max": z_max.data,
-            "target": self.target.data,
-        }
+            mask = mask_from_theta(ad.Tensor(theta_m), self.config).data
+        images = _resist_images_fast(self.engine.aerial_fast(mask), self.config)
+        images.update(mask=mask, target=self.target.data)
+        return images
+
+
+class BatchedSMOObjective:
+    """Joint SMO loss over a batch of layout tiles sharing one source.
+
+    Evaluating B tiles through one engine call turns the whole layout
+    suite into a single fused FFT stack (and a single autodiff graph)
+    instead of a Python loop over per-tile objectives — the multi-tile
+    extension of the paper's Abbe batching.
+
+    Parameters
+    ----------
+    targets:
+        ``(B, N, N)`` stack of binary target tiles (see
+        :func:`repro.layouts.tile_stack`).
+    reduction:
+        ``"sum"`` (default) or ``"mean"`` over the batch.
+    """
+
+    def __init__(
+        self,
+        config: OpticalConfig,
+        targets: np.ndarray,
+        engine: Optional[ImagingEngine] = None,
+        reduction: str = "sum",
+    ):
+        targets = np.asarray(targets, dtype=np.float64)
+        n = config.mask_size
+        if targets.ndim != 3 or targets.shape[-2:] != (n, n):
+            raise ValueError(
+                f"targets must be (B, {n}, {n}); got shape {targets.shape}"
+            )
+        if reduction not in ("sum", "mean"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.config = config
+        self.reduction = reduction
+        self.num_tiles = targets.shape[0]
+        self.targets = ad.Tensor(targets)
+        self.engine = engine or engine_for(config, "abbe")
+
+    def loss(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
+        """Batch SMO loss; ``theta_m`` is a ``(B, N, N)`` parameter stack."""
+        if theta_m.ndim != 3 or theta_m.shape[0] != self.num_tiles:
+            raise ValueError(
+                f"theta_m must be ({self.num_tiles}, N, N); got {theta_m.shape}"
+            )
+        source = source_from_theta(theta_j, self.config)
+        masks = mask_from_theta(theta_m, self.config)
+        aerial = self.engine.aerial(masks, source)  # (B, N, N), one fused stack
+        total = smo_loss_from_aerial(aerial, self.targets, self.config)
+        if self.reduction == "mean":
+            total = F.div(total, float(self.num_tiles))
+        return total
+
+    def tile_losses(self, theta_j: np.ndarray, theta_m: np.ndarray) -> np.ndarray:
+        """Per-tile loss vector ``(B,)`` via the inference fast path."""
+        images = self.images(theta_j, theta_m)
+        t = self.targets.data
+        axes = (1, 2)
+        l2 = ((images["resist"] - t) ** 2).sum(axis=axes)
+        pvb = ((images["resist_max"] - t) ** 2).sum(axis=axes) + (
+            (images["resist_min"] - t) ** 2
+        ).sum(axis=axes)
+        return self.config.gamma * l2 + self.config.eta * pvb
+
+    def images(self, theta_j: np.ndarray, theta_m: np.ndarray) -> Dict[str, np.ndarray]:
+        """Batched intermediate images, all ``(B, N, N)`` (no graph)."""
+        with ad.no_grad():
+            source = source_from_theta(ad.Tensor(theta_j), self.config).data
+            masks = mask_from_theta(ad.Tensor(theta_m), self.config).data
+        images = _resist_images_fast(
+            self.engine.aerial_fast(masks, source), self.config
+        )
+        images.update(source=source, mask=masks, target=self.targets.data)
+        return images
