@@ -28,7 +28,12 @@ __all__ = ["MultiLevelILT"]
 
 
 class MultiLevelILT:
-    """Coarse-to-fine Hopkins ILT with the SMO process-window loss."""
+    """Coarse-to-fine Hopkins ILT with the SMO process-window loss.
+
+    ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
+    a stack runs every level on the whole batch at once (one fused SOCS
+    FFT stack per step) and records per-tile losses.
+    """
 
     method_name = "DAC23-MILT"
 
@@ -68,14 +73,17 @@ class MultiLevelILT:
 
     @staticmethod
     def _downsample_target(target: np.ndarray, size: int) -> np.ndarray:
-        n = target.shape[0]
+        """Box-pool + re-binarize; batch dimensions pass through."""
+        n = target.shape[-1]
         factor = n // size
-        pooled = target.reshape(size, factor, size, factor).mean(axis=(1, 3))
+        pooled = target.reshape(
+            target.shape[:-2] + (size, factor, size, factor)
+        ).mean(axis=(-3, -1))
         return (pooled >= 0.5).astype(np.float64)
 
     @staticmethod
     def _upsample_theta(theta: np.ndarray, factor: int) -> np.ndarray:
-        return np.repeat(np.repeat(theta, factor, axis=0), factor, axis=1)
+        return np.repeat(np.repeat(theta, factor, axis=-2), factor, axis=-1)
 
     def run(self, iterations: int = 50) -> SMOResult:
         """Split ``iterations`` across levels (coarse levels get fewer)."""
@@ -91,7 +99,7 @@ class MultiLevelILT:
                 theta = init_theta_mask(tgt, cfg)
             else:
                 theta = self._upsample_theta(
-                    theta, cfg.mask_size // theta.shape[0]
+                    theta, cfg.mask_size // theta.shape[-1]
                 )
             # The per-level engine resolves through the optics cache, so a
             # harness sweep re-running MILT on many clips decomposes each
@@ -104,13 +112,22 @@ class MultiLevelILT:
                 tm = ad.Tensor(theta, requires_grad=True)
                 loss = objective.loss(tm)
                 (gm,) = ad.grad(loss, [tm])
-                theta = opt.step(theta, gm.data)
                 # Losses at coarse levels are on fewer pixels; scale to the
                 # native grid so the convergence trace is comparable.
                 scale = (self.config.mask_size / cfg.mask_size) ** 2
+                tiles = (
+                    objective.last_tile_losses * scale
+                    if objective.last_tile_losses is not None
+                    else None
+                )
+                theta = opt.step(theta, gm.data)
                 history.append(
                     IterationRecord(
-                        step, float(loss.data) * scale, time.perf_counter() - t0, "mo"
+                        step,
+                        float(loss.data) * scale,
+                        time.perf_counter() - t0,
+                        "mo",
+                        tile_losses=tiles,
                     )
                 )
                 step += 1

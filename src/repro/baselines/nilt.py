@@ -29,7 +29,12 @@ __all__ = ["NILTBaseline"]
 
 
 class NILTBaseline:
-    """Hopkins ILT on the nominal-dose L2 objective only."""
+    """Hopkins ILT on the nominal-dose L2 objective only.
+
+    ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
+    a stack optimizes the whole mask batch jointly through the engine's
+    fused multi-tile forward, with per-tile losses in every record.
+    """
 
     method_name = "NILT"
 
@@ -44,15 +49,23 @@ class NILTBaseline:
     ):
         self.config = config
         self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
+        self.num_tiles = self.target.shape[0] if self.target.ndim == 3 else 1
         # Shared SOCS engine from the optics cache: repeated NILT runs on
         # one (config, source) pair decompose the TCC exactly once.
         self.engine = engine_for(config, "hopkins", source=source, num_kernels=num_kernels)
         self._opt = make_optimizer(optimizer, lr)
+        self._last_tile_losses: Optional[np.ndarray] = None
 
     def _loss(self, theta_m: ad.Tensor) -> ad.Tensor:
         mask = mask_from_theta(theta_m, self.config)
         aerial = self.engine.aerial(mask)
         z = dose_resist(aerial, self.config, 1.0)
+        if self.target.ndim == 3:  # any stack, including B=1
+            # Per-tile diagnostics straight from the graph's resist image
+            # (no extra imaging forward).
+            self._last_tile_losses = self.config.gamma * (
+                (z.data - self.target.data) ** 2
+            ).sum(axis=(1, 2))
         # Nominal printability only — no PVB term (Neural-ILT's objective).
         return F.mul(F.sum(F.power(F.sub(z, self.target), 2.0)), self.config.gamma)
 
@@ -74,9 +87,16 @@ class NILTBaseline:
             tm = ad.Tensor(theta_m, requires_grad=True)
             loss = self._loss(tm)
             (gm,) = ad.grad(loss, [tm])
+            tiles = self._last_tile_losses
             theta_m = self._opt.step(theta_m, gm.data)
             history.append(
-                IterationRecord(it, float(loss.data), time.perf_counter() - t0, "mo")
+                IterationRecord(
+                    it,
+                    float(loss.data),
+                    time.perf_counter() - t0,
+                    "mo",
+                    tile_losses=tiles,
+                )
             )
         return SMOResult(
             method=self.method_name,

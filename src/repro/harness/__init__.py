@@ -8,6 +8,7 @@ from .runner import (
     batched_objective,
     evaluate_final,
     run_clip,
+    run_joint,
     run_matrix,
 )
 from .tables import TableData, table3, table4
@@ -19,6 +20,7 @@ __all__ = [
     "RunRecord",
     "RunSettings",
     "run_clip",
+    "run_joint",
     "run_matrix",
     "evaluate_final",
     "batched_objective",

@@ -3,7 +3,8 @@
 Examples::
 
     bismo table3 --scale small --clips 2 --iterations 20
-    bismo table4 --scale default --clips 2
+    bismo table3 --scale small --clips 2 --workers 4
+    bismo table4 --scale default --clips 2 --joint
     bismo fig3 --dataset ICCAD13 --steps 100
     bismo fig5 --dataset ICCAD13 --clips 3
     bismo all --out results/
@@ -48,6 +49,19 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("table3", "table4", "tables", "all"):
         p = sub.add_parser(name)
         common(p)
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for the sweep (records stay in serial "
+            "order with identical numeric content)",
+        )
+        p.add_argument(
+            "--joint",
+            action="store_true",
+            help="jointly optimize each dataset's clips with one shared "
+            "source (batched multi-clip SMO) instead of per-clip solves",
+        )
 
     p3 = sub.add_parser("fig3")
     common(p3)
@@ -87,6 +101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             methods=methods,
             clips_per_dataset=args.clips,
             progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+            workers=args.workers,
+            joint=args.joint,
         )
         if args.command in ("table3", "tables", "all"):
             t3 = table3(records)

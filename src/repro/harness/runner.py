@@ -5,13 +5,27 @@ a benchmark clip, runs one of the eight evaluated methods under a common
 iteration budget, evaluates the final (source, mask) pair under the
 *lossless Abbe* model (the common judge, as in the paper's evaluation),
 and returns L2 / PVB / EPE / runtime records.
+
+Two scale axes on top of the per-cell engine:
+
+* **Joint multi-clip mode** (:func:`run_joint`, ``run_matrix(...,
+  joint=True)``) — one solve per (method, dataset) optimizing a shared
+  source against the whole clip stack through the fused batched forward,
+  then judging every tile separately.
+* **Process-parallel sweeps** (``run_matrix(..., workers=N)``) — the
+  (method x clip) cells are sharded over a ``ProcessPoolExecutor``.
+  Workers warm the optics cache once at start-up, every cell is a pure
+  function of (method, clip, settings), and records are collected in
+  submission order, so a parallel sweep returns the records in exactly
+  the serial order with identical numeric content.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +51,7 @@ __all__ = [
     "RunSettings",
     "METHOD_ORDER",
     "run_clip",
+    "run_joint",
     "run_matrix",
     "batched_objective",
 ]
@@ -236,27 +251,141 @@ def run_clip(
     )
 
 
+def run_joint(
+    method: str,
+    clips: Sequence[Clip],
+    settings: RunSettings,
+    dataset_name: str = "",
+) -> List[RunRecord]:
+    """Jointly optimize one method over a whole clip suite.
+
+    One solve: a shared source (``theta_J``) against the ``(B, N, N)``
+    tile stack (per-clip ``theta_M``), evaluated through the engines'
+    fused batched forward.  Every clip still gets its own
+    :class:`RunRecord` — metrics come from judging that tile's final
+    (mask, source) under the lossless Abbe model, the loss trace is the
+    solver's per-tile loss history, and ``runtime_s`` is the joint
+    wall-clock amortized over the batch (the per-clip share).
+    """
+    cfg = settings.config
+    clips = list(clips)
+    targets = tile_stack(clips, cfg)
+    source = _annular_source(cfg)
+    start = time.perf_counter()
+    result = _dispatch(method, settings, targets, source)
+    runtime = time.perf_counter() - start
+    try:
+        tile_matrix: Optional[np.ndarray] = result.tile_loss_matrix()  # (T, B)
+    except ValueError:
+        tile_matrix = None
+    records: List[RunRecord] = []
+    for i, clip in enumerate(clips):
+        theta_m = result.theta_m[i] if result.theta_m.ndim == 3 else result.theta_m
+        tile_result = SMOResult(
+            method=result.method,
+            theta_m=theta_m,
+            theta_j=result.theta_j,
+            history=result.history,
+            runtime_seconds=result.runtime_seconds,
+        )
+        metrics = evaluate_final(tile_result, clip, settings, source)
+        losses = tile_matrix[:, i] if tile_matrix is not None else result.losses
+        records.append(
+            RunRecord(
+                method=method,
+                dataset=dataset_name,
+                clip=clip.name,
+                l2_nm2=metrics["l2_nm2"],
+                pvb_nm2=metrics["pvb_nm2"],
+                epe_violations=int(metrics["epe_violations"]),
+                epe_mean_nm=metrics["epe_mean_nm"],
+                runtime_s=runtime / len(clips),
+                final_loss=float(losses[-1]),
+                losses=losses,
+            )
+        )
+    return records
+
+
+# One sweep cell: ("clip", method, dataset_name, clip) or
+# ("joint", method, dataset_name, (clip, ...)).  Plain tuples so cells
+# pickle cleanly across the process pool.
+_Cell = Tuple[str, str, str, object]
+
+
+def _cell_label(cell: _Cell) -> str:
+    kind, method, ds_name, payload = cell
+    if kind == "joint":
+        return f"{ds_name}/joint[{len(payload)}]/{method}"
+    return f"{ds_name}/{payload.name}/{method}"
+
+
+def _run_cell(cell: _Cell, settings: RunSettings) -> List[RunRecord]:
+    """Execute one sweep cell (also the process-pool task body)."""
+    kind, method, ds_name, payload = cell
+    if kind == "joint":
+        return run_joint(method, list(payload), settings, ds_name)
+    return [run_clip(method, payload, settings, ds_name)]
+
+
+def _worker_warmup(config: OpticalConfig) -> None:
+    """Process-pool initializer: pre-build the shared optics cache."""
+    from ..optics import cache
+
+    cache.warmup(config)
+
+
 def run_matrix(
     datasets: Sequence[Dataset],
     settings: RunSettings,
     methods: Sequence[str] = METHOD_ORDER,
     clips_per_dataset: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
+    joint: bool = False,
 ) -> List[RunRecord]:
     """Full (method x dataset x clip) sweep — the shared input of
-    Table 3 and Table 4."""
-    records: List[RunRecord] = []
+    Table 3 and Table 4.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (default) runs in-process;
+        ``N > 1`` shards the cells over a ``ProcessPoolExecutor`` whose
+        workers warm the optics cache once at start-up.  Record order
+        and numeric content are identical to the serial sweep (cells are
+        deterministic and collected in submission order); only wall-clock
+        timing fields differ run-to-run.
+    joint:
+        Optimize each dataset's clips jointly (one shared source per
+        (method, dataset) cell, see :func:`run_joint`) instead of one
+        solve per clip.
+    """
+    cells: List[_Cell] = []
     for ds in datasets:
         clips = list(ds)[: clips_per_dataset or len(ds)]
-        # One cached engine backs every objective in the sweep; sharing
-        # the objective per clip additionally reuses its target tensor.
-        for clip in clips:
-            target = _target_image(clip, settings.config)
-            objective = AbbeSMOObjective(settings.config, target)
+        if joint:
             for method in methods:
-                if progress:
-                    progress(f"{ds.name}/{clip.name}/{method}")
-                records.append(
-                    run_clip(method, clip, settings, ds.name, objective=objective)
-                )
+                cells.append(("joint", method, ds.name, tuple(clips)))
+        else:
+            for clip in clips:
+                for method in methods:
+                    cells.append(("clip", method, ds.name, clip))
+    records: List[RunRecord] = []
+    if workers <= 1:
+        for cell in cells:
+            if progress:
+                progress(_cell_label(cell))
+            records.extend(_run_cell(cell, settings))
+        return records
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_warmup,
+        initargs=(settings.config,),
+    ) as pool:
+        futures = [pool.submit(_run_cell, cell, settings) for cell in cells]
+        for cell, future in zip(cells, futures):
+            if progress:
+                progress(_cell_label(cell))
+            records.extend(future.result())
     return records

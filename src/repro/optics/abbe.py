@@ -121,13 +121,14 @@ class AbbeImaging:
             F.reshape(self._pupil_stack, (1, s, n, n)),
             F.reshape(fm, (b, 1, n, n)),
         )
-        # One fused (B*S, N, N) stack: the whole batch rides a single
-        # vectorized inverse FFT instead of B independent passes.
-        fields = F.ifft2(F.reshape(spectra, (b * s, n, n)))
-        intensities = F.reshape(F.abs2(fields), (b, s, n, n))
-        jw = F.reshape(j, (1, s, 1, 1))
-        total = F.sum(F.mul(jw, intensities), axis=1)  # (B, N, N)
-        return F.div(total, norm)
+        # One fused (B, S, N, N) stack: the whole batch rides a single
+        # vectorized inverse FFT (last-two-axes transform) instead of B
+        # independent passes, with no flatten/unflatten graph nodes.
+        intensities = F.abs2(F.ifft2(spectra))
+        # Normalizing the (S,) weight vector instead of the (B, N, N)
+        # output keeps the division off the big array.
+        jw = F.reshape(F.div(j, norm), (1, s, 1, 1))
+        return F.sum(F.mul(jw, intensities), axis=1)  # (B, N, N)
 
     def aerial_fast(
         self, mask: MaskLike, source: Optional[MaskLike] = None
@@ -149,6 +150,42 @@ class AbbeImaging:
             tiles, self._pupil_stack.data, j, float(j.sum()) + _EPS
         )
         return out[0] if single else out
+
+    def source_intensity_basis(self, masks: np.ndarray) -> np.ndarray:
+        """Per-source-point intensity basis ``X[b, s] = |IFFT(H_s FFT(M_b))|^2``.
+
+        Abbe's aerial image is *linear* in the normalized source weights:
+        ``A[b] = sum_s (j_s / sum j) X[b, s]`` with ``X`` independent of
+        the source.  At a fixed mask the basis is therefore a constant,
+        and any source-only quantity (SO losses, inner-Hessian products
+        in bilevel SMO) can be rebuilt from it without touching an FFT.
+        Returns a ``(B, S, N, N)`` numpy array computed with exactly the
+        ops of :meth:`aerial` (bitwise-matching intensities).
+        """
+        tiles, _ = as_tile_batch(masks, self.config.mask_size)
+        kernels = self._pupil_stack.data
+        fm = np.fft.fft2(tiles)  # (B, N, N)
+        out = np.empty((tiles.shape[0],) + kernels.shape)
+        # Tile-at-a-time keeps the working set cache-sized; per-tile
+        # results are bitwise identical to the full-stack transform.
+        for b in range(tiles.shape[0]):
+            fields = np.fft.ifft2(kernels * fm[b])
+            out[b] = (fields * np.conj(fields)).real
+        return out  # (B, S, N, N)
+
+    def aerial_from_basis(self, basis: ad.Tensor, source: ad.Tensor) -> ad.Tensor:
+        """Differentiable aerial from a fixed intensity basis (FFT-free).
+
+        Numerically identical to the batched :meth:`aerial` at the mask
+        that produced ``basis``, but the graph touches only the source
+        parameters — the cheap path for source-only gradients and exact
+        inner-Hessian oracles.
+        """
+        j = self.source_weights(source)
+        norm = F.add(F.sum(j), _EPS)
+        s = self.num_source_points
+        jw = F.reshape(F.div(j, norm), (1, s, 1, 1))
+        return F.sum(F.mul(jw, basis), axis=1)  # (B, N, N)
 
     def aerial_loop(self, mask: ad.Tensor, source: ad.Tensor) -> ad.Tensor:
         """Reference per-source-point loop (slow path).

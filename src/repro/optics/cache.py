@@ -38,6 +38,7 @@ __all__ = [
     "socs",
     "abbe_engine",
     "hopkins_engine",
+    "warmup",
     "stats",
     "reset_stats",
     "clear",
@@ -87,6 +88,11 @@ def _lookup(
     value = build()
     weight = weigh(value) if weigh is not None else 1
     with _LOCK:
+        # ``clear()`` may have replaced the category dict while ``build``
+        # ran outside the lock; re-resolve so the insert lands in the
+        # *live* dict (not an orphaned one) and the entry actually caches.
+        cache = _CACHES.setdefault(category, OrderedDict())
+        _STATS.setdefault(category, {"hits": 0, "misses": 0})
         if key in cache:  # a concurrent builder got here first
             return cache[key][0]
         cache[key] = (value, weight)
@@ -251,6 +257,22 @@ def hopkins_engine(
         weigh=lambda engine: engine._kernel_stack.data.nbytes,
         budget=SOCS_BUDGET_BYTES,
     )
+
+
+def warmup(config: OpticalConfig, defocus_nm: float = 0.0) -> None:
+    """Pre-build every config-keyed entry (grids, pupil stack, engine).
+
+    Parallel harness workers call this once at start-up so all
+    subsequent solves in the process hit a warm cache instead of paying
+    the pupil-stack build inside their first timed iteration.  SOCS
+    entries are source-keyed and cannot be warmed here; they populate on
+    first use per (config, source, Q).
+    """
+    freq_axes(config)
+    freq_grid(config)
+    source_grid(config)
+    pupil_stack(config, defocus_nm)
+    abbe_engine(config, defocus_nm)
 
 
 # ----------------------------------------------------------------------

@@ -174,8 +174,9 @@ class HopkinsImaging:
             F.reshape(self._kernel_stack, (1, q, n, n)),
             F.reshape(fm, (b, 1, n, n)),
         )
-        fields = F.ifft2(F.reshape(spectra, (b * q, n, n)))
-        intensities = F.reshape(F.abs2(fields), (b, q, n, n))
+        # Fused (B, Q, N, N) stack; the inverse FFT transforms the last
+        # two axes directly, so no flatten/unflatten nodes are needed.
+        intensities = F.abs2(F.ifft2(spectra))
         kw = F.reshape(self._weight_tensor, (1, q, 1, 1))
         return F.sum(F.mul(kw, intensities), axis=1)  # (B, N, N)
 

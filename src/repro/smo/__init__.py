@@ -14,6 +14,7 @@ from .objective import (
     AbbeSMOObjective,
     BatchedSMOObjective,
     HopkinsMOObjective,
+    LoopedSMOObjective,
     dose_resist,
     smo_loss_from_aerial,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "AbbeSMOObjective",
     "BatchedSMOObjective",
     "HopkinsMOObjective",
+    "LoopedSMOObjective",
     "dose_resist",
     "smo_loss_from_aerial",
     "IterationRecord",

@@ -23,7 +23,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..opt import make_optimizer
 from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective, HopkinsMOObjective
+from .objective import AbbeSMOObjective, BatchedSMOObjective, HopkinsMOObjective
 from .parametrization import init_theta_mask, init_theta_source, source_from_theta
 from .state import IterationRecord, SMOResult
 
@@ -35,6 +35,11 @@ class AMSMO:
 
     Parameters
     ----------
+    target:
+        Binary target image ``(N, N)``, or a ``(B, N, N)`` stack for
+        joint multi-clip AM-SMO (one shared source, a ``theta_M``
+        stack; both phases then ride the fused batched forward and
+        records carry per-tile losses).
     mode:
         ``"abbe-abbe"`` or ``"abbe-hopkins"`` (MO engine choice).
     rounds:
@@ -43,6 +48,9 @@ class AMSMO:
         Gradient steps per phase ("local epochs" in Figure 2(a)).
     num_kernels:
         SOCS truncation for the Hopkins MO phase.
+    objective:
+        Optional pre-built SMO objective (single-tile or batched);
+        overrides the default built from ``target``.
     """
 
     def __init__(
@@ -58,6 +66,7 @@ class AMSMO:
         so_optimizer: str = "sgd",
         mo_optimizer: str = "adam",
         num_kernels: Optional[int] = None,
+        objective: Optional[AbbeSMOObjective] = None,
     ):
         if mode not in ("abbe-abbe", "abbe-hopkins"):
             raise ValueError(f"unknown AM-SMO mode {mode!r}")
@@ -72,10 +81,19 @@ class AMSMO:
         self.lr_so = lr_so
         self.lr_mo = lr_mo
         self.num_kernels = num_kernels
-        self.objective = AbbeSMOObjective(config, self.target)
+        if objective is not None:
+            self.objective = objective
+        elif self.target.ndim == 3:
+            self.objective = BatchedSMOObjective(config, self.target)
+        else:
+            self.objective = AbbeSMOObjective(config, self.target)
         self.method_name = (
             "AM-SMO(Abbe-Abbe)" if mode == "abbe-abbe" else "AM-SMO(Abbe-Hopkins)"
         )
+
+    def _stashed_tile_losses(self) -> Optional[np.ndarray]:
+        """Per-tile losses stashed by the objective's latest ``loss()``."""
+        return getattr(self.objective, "last_tile_losses", None)
 
     # ------------------------------------------------------------------
     def run(
@@ -109,8 +127,15 @@ class AMSMO:
                 tj = ad.Tensor(theta_j, requires_grad=True)
                 loss = self.objective.loss(tj, tm_fixed)
                 (gj,) = ad.grad(loss, [tj])
+                tiles = self._stashed_tile_losses()
                 theta_j = opt_j.step(theta_j, gj.data)
-                rec = IterationRecord(step, float(loss.data), time.perf_counter() - t0, "so")
+                rec = IterationRecord(
+                    step,
+                    float(loss.data),
+                    time.perf_counter() - t0,
+                    "so",
+                    tile_losses=tiles,
+                )
                 history.append(rec)
                 step += 1
                 if callback:
@@ -128,9 +153,14 @@ class AMSMO:
                     tm = ad.Tensor(theta_m, requires_grad=True)
                     loss = hop.loss(tm)
                     (gm,) = ad.grad(loss, [tm])
+                    tiles = hop.last_tile_losses
                     theta_m = opt_m.step(theta_m, gm.data)
                     rec = IterationRecord(
-                        step, float(loss.data), time.perf_counter() - t0, "mo"
+                        step,
+                        float(loss.data),
+                        time.perf_counter() - t0,
+                        "mo",
+                        tile_losses=tiles,
                     )
                     history.append(rec)
                     step += 1
@@ -143,9 +173,14 @@ class AMSMO:
                     tm = ad.Tensor(theta_m, requires_grad=True)
                     loss = self.objective.loss(tj_fixed, tm)
                     (gm,) = ad.grad(loss, [tm])
+                    tiles = self._stashed_tile_losses()
                     theta_m = opt_m.step(theta_m, gm.data)
                     rec = IterationRecord(
-                        step, float(loss.data), time.perf_counter() - t0, "mo"
+                        step,
+                        float(loss.data),
+                        time.perf_counter() - t0,
+                        "mo",
+                        tile_losses=tiles,
                     )
                     history.append(rec)
                     step += 1

@@ -7,9 +7,10 @@ SMO is posed as the bilevel program (Eq. (11))
 
 The outer (MO) gradient is the *hypergradient* (Eq. (12)): the direct
 term plus the best-response term through theta_J*.  Three approximations
-of the inverse inner Hessian are implemented (FD / Neumann / CG, see
-:mod:`repro.smo.fd`, :mod:`repro.smo.nmn`, :mod:`repro.smo.cg`); each
-outer iteration
+of the inverse inner Hessian are implemented, keyed ``"fd"`` /
+``"nmn"`` / ``"cg"`` — finite-difference (:mod:`repro.smo.fd`),
+truncated Neumann series (:mod:`repro.smo.nmn`) and conjugate gradient
+(:mod:`repro.smo.cg`); each outer iteration
 
 1. unrolls ``T`` inner SO steps to track theta_J* (Alg. 2 line 2),
 2. builds a :class:`HypergradientContext` — one differentiable forward/
@@ -19,6 +20,12 @@ outer iteration
 
 Since the paper sets ``L_so := L_mo := L_smo`` (Eq. (9)), one loss graph
 serves both levels.
+
+Joint multi-clip SMO: passing a ``(B, N, N)`` target stack (or a
+:class:`repro.smo.objective.BatchedSMOObjective`) optimizes one shared
+``theta_J`` against a ``(B, N, N)`` ``theta_M`` stack; hypergradients
+and HVPs flow through the fused batched forward and every
+:class:`IterationRecord` carries the per-tile loss vector.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from .. import autodiff as ad
 from ..autodiff import functional as F
 from ..opt import make_optimizer
 from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective
+from .objective import AbbeSMOObjective, BatchedSMOObjective
 from .parametrization import init_theta_mask, init_theta_source
 from .state import IterationRecord, SMOResult
 
@@ -53,6 +60,14 @@ class HypergradientContext:
     both computed by a second backward pass through the gradient graph
     (``hvp_mode="exact"``), or by central differences of fresh gradient
     evaluations (``hvp_mode="fd"``, cheaper in memory — the DARTS trick).
+    The oracles feed every hypergradient strategy: finite-difference
+    (:mod:`repro.smo.fd`), truncated Neumann series (:mod:`repro.smo.nmn`)
+    and conjugate gradient (:mod:`repro.smo.cg`).
+
+    ``objective`` is any SMO objective exposing ``loss(theta_j,
+    theta_m)`` — single-tile :class:`AbbeSMOObjective` or a batched
+    multi-clip objective, in which case ``theta_m`` is a ``(B, N, N)``
+    stack and every oracle flows through the fused batched graph.
     """
 
     def __init__(
@@ -62,6 +77,7 @@ class HypergradientContext:
         theta_m: np.ndarray,
         hvp_mode: str = "exact",
         fd_eps: float = 1e-2,
+        so_loss_fn: Optional[Callable[[ad.Tensor], ad.Tensor]] = None,
     ):
         if hvp_mode not in ("exact", "fd"):
             raise ValueError(f"unknown hvp_mode {hvp_mode!r}")
@@ -77,11 +93,32 @@ class HypergradientContext:
         self._gj_graph = gj if create else None
         self.grad_j = gj.data.copy()
         self.grad_m = gm.data.copy()
+        # Source-only HVP oracle: objectives that can express the loss as
+        # a function of theta_J alone through a fixed intensity basis
+        # (Abbe is linear in the source weights) provide a far cheaper,
+        # FFT-free graph for the inner Hessian.  Exact — same function of
+        # theta_J, so identical second derivatives.  ``so_loss_fn`` lets
+        # the driver share one basis across the whole outer iteration;
+        # otherwise the objective's ``source_only_loss`` factory is used.
+        if so_loss_fn is None:
+            factory = getattr(objective, "source_only_loss", None)
+            so_loss_fn = factory(theta_m) if factory is not None else None
+        self._so_loss_fn = so_loss_fn
+        self._so_tj: Optional[ad.Tensor] = None
+        self._so_gj_graph: Optional[ad.Tensor] = None
+        if create and so_loss_fn is not None:
+            so_tj = ad.Tensor(theta_j, requires_grad=True)
+            (so_gj,) = ad.grad(so_loss_fn(so_tj), [so_tj], create_graph=True)
+            self._so_tj, self._so_gj_graph = so_tj, so_gj
 
     # -- second-order oracles -------------------------------------------
     def hvp(self, p: np.ndarray) -> np.ndarray:
         """(d^2 L_so / d theta_J^2) @ p."""
         if self.hvp_mode == "exact":
+            if self._so_gj_graph is not None:
+                inner = F.dot(self._so_gj_graph, ad.Tensor(p))
+                (h,) = ad.grad(inner, [self._so_tj], allow_unused=True)
+                return np.zeros_like(p) if h is None else h.data
             inner = F.dot(self._gj_graph, ad.Tensor(p))
             (h,) = ad.grad(inner, [self._tj], allow_unused=True)
             return np.zeros_like(p) if h is None else h.data
@@ -105,10 +142,15 @@ class HypergradientContext:
         outs = []
         for sign in (1.0, -1.0):
             tj = ad.Tensor(self._tj.data + sign * h * vec, requires_grad=True)
-            tm = ad.Tensor(self._tm.data, requires_grad=True)
-            loss = self.objective.loss(tj, tm)
-            target = tj if wrt == "j" else tm
-            (g,) = ad.grad(loss, [target])
+            if wrt == "j" and self._so_loss_fn is not None:
+                # theta_M is fixed along this perturbation: the FFT-free
+                # source-only graph gives the same gradient, cheaper.
+                (g,) = ad.grad(self._so_loss_fn(tj), [tj])
+            else:
+                tm = ad.Tensor(self._tm.data, requires_grad=True)
+                loss = self.objective.loss(tj, tm)
+                target = tj if wrt == "j" else tm
+                (g,) = ad.grad(loss, [target])
             outs.append(g.data)
         return (outs[0] - outs[1]) / (2.0 * h)
 
@@ -141,8 +183,13 @@ class BiSMO:
 
     Parameters
     ----------
+    target:
+        Binary target image ``(N, N)``, or a ``(B, N, N)`` stack for
+        joint multi-clip SMO (one shared source, a ``theta_M`` stack;
+        the default objective becomes :class:`BatchedSMOObjective`).
     method:
-        ``"fd"`` (Eq. (13)), ``"nmn"`` (Eq. (16)) or ``"cg"`` (Eq. (18)).
+        ``"fd"`` (Eq. (13)), ``"nmn"`` (truncated Neumann, Eq. (16)),
+        ``"cg"`` (Eq. (18)) or ``"unroll"`` (reverse-mode reference).
     unroll_steps:
         Inner SO steps ``T`` per outer iteration (paper: 3).
     terms:
@@ -150,7 +197,9 @@ class BiSMO:
     inner_lr / outer_lr:
         Step sizes ``xi_J`` and ``xi_M`` (paper: 0.1 each).
     inner_optimizer / outer_optimizer:
-        ``"sgd"`` or ``"adam"`` ("// Or Adam" in Alg. 2).
+        ``"sgd"`` or ``"adam"`` ("// Or Adam" in Alg. 2).  The
+        ``"unroll"`` method differentiates through plain SGD inner
+        updates, so it accepts ``inner_optimizer="sgd"`` only.
     hvp_mode:
         ``"exact"`` (double backward) or ``"fd"`` (finite differences).
     damping:
@@ -174,9 +223,20 @@ class BiSMO:
     ):
         self.config = config
         self.target = np.asarray(target, dtype=np.float64)
-        self.objective = objective or AbbeSMOObjective(config, self.target)
+        if objective is not None:
+            self.objective = objective
+        elif self.target.ndim == 3:
+            self.objective = BatchedSMOObjective(config, self.target)
+        else:
+            self.objective = AbbeSMOObjective(config, self.target)
         self.method = method.lower()
         self._hyper_fn = _resolve_method(method)
+        if self._hyper_fn is None and inner_optimizer.lower() != "sgd":
+            raise ValueError(
+                "BiSMO-UNROLL differentiates through plain SGD inner "
+                f"updates; inner_optimizer={inner_optimizer!r} is not "
+                "supported on the unroll path (use 'sgd' or an IFT method)"
+            )
         self.unroll_steps = unroll_steps
         self.terms = terms
         self.inner_lr = inner_lr
@@ -186,6 +246,12 @@ class BiSMO:
         self.hvp_mode = hvp_mode
         self.damping = damping
         self.method_name = f"BiSMO-{self.method.upper()}"
+
+    def _stashed_tile_losses(self) -> Optional[np.ndarray]:
+        """Per-tile losses of the objective's latest evaluation (joint
+        runs only; None for single tiles).  Batched objectives stash the
+        vector during ``loss()`` at no extra imaging cost."""
+        return getattr(self.objective, "last_tile_losses", None)
 
     def run(
         self,
@@ -224,33 +290,63 @@ class BiSMO:
                     theta_m,
                     steps=self.unroll_steps,
                     inner_lr=self.inner_lr,
+                    inner_optimizer=self.inner_optimizer,
                 )
+                tile_losses = self._stashed_tile_losses()
                 theta_m = outer_opt.step(theta_m, hyper)
                 rec = IterationRecord(
-                    it, loss_value, time.perf_counter() - t0, "bilevel"
+                    it,
+                    loss_value,
+                    time.perf_counter() - t0,
+                    "bilevel",
+                    tile_losses=tile_losses,
                 )
                 history.append(rec)
                 if callback:
                     callback(rec)
                 continue
             # ---- Alg. 2 line 2: unroll T inner SO steps ---------------
-            tm_fixed = ad.Tensor(theta_m)
-            for _ in range(self.unroll_steps):
-                tj = ad.Tensor(theta_j, requires_grad=True)
-                loss_so = self.objective.loss(tj, tm_fixed)
-                (gj,) = ad.grad(loss_so, [tj])
-                theta_j = inner_opt.step(theta_j, gj.data)
+            # theta_M is fixed for the whole outer iteration, so a
+            # batched objective's FFT-free source-only closure (one
+            # intensity basis, shared with the HVP oracle below) carries
+            # every inner step and Hessian product of this iteration.
+            so_factory = getattr(self.objective, "source_only_loss", None)
+            so_loss = so_factory(theta_m) if so_factory is not None else None
+            if so_loss is not None:
+                for _ in range(self.unroll_steps):
+                    tj = ad.Tensor(theta_j, requires_grad=True)
+                    (gj,) = ad.grad(so_loss(tj), [tj])
+                    theta_j = inner_opt.step(theta_j, gj.data)
+            else:
+                tm_fixed = ad.Tensor(theta_m)
+                for _ in range(self.unroll_steps):
+                    tj = ad.Tensor(theta_j, requires_grad=True)
+                    loss_so = self.objective.loss(tj, tm_fixed)
+                    (gj,) = ad.grad(loss_so, [tj])
+                    theta_j = inner_opt.step(theta_j, gj.data)
             # ---- Alg. 2 lines 5-12: hypergradient ---------------------
             ctx = HypergradientContext(
-                self.objective, theta_j, theta_m, hvp_mode=self.hvp_mode
+                self.objective,
+                theta_j,
+                theta_m,
+                hvp_mode=self.hvp_mode,
+                so_loss_fn=so_loss,
             )
+            # Capture per-tile losses now: they belong to ctx's loss
+            # evaluation, and FD-mode hypergradients re-evaluate the
+            # objective at perturbed points below.
+            tile_losses = self._stashed_tile_losses()
             hyper, warm = self._hyper_fn(
                 ctx, self.inner_lr, self.terms, self.damping, warm
             )
             # ---- Alg. 2 line 13: outer MO step ------------------------
             theta_m = outer_opt.step(theta_m, hyper)
             rec = IterationRecord(
-                it, ctx.loss_value, time.perf_counter() - t0, "bilevel"
+                it,
+                ctx.loss_value,
+                time.perf_counter() - t0,
+                "bilevel",
+                tile_losses=tile_losses,
             )
             history.append(rec)
             if callback:

@@ -52,9 +52,15 @@ class RelativeImprovementStopper:
         self._slow = 0
 
     def update(self, loss: float) -> bool:
-        if self._prev is not None and self._prev > 0:
-            rel = (self._prev - loss) / self._prev
-            self._slow = self._slow + 1 if rel < self.rtol else 0
+        if self._prev is not None:
+            if self._prev > 0:
+                rel = (self._prev - loss) / self._prev
+                self._slow = self._slow + 1 if rel < self.rtol else 0
+            else:
+                # A zero (or negative) loss cannot shrink by any relative
+                # margin: count the step as plateau progress so a run
+                # that bottoms out at exactly 0 still stops.
+                self._slow += 1
         self._prev = loss
         return self._slow >= self.patience
 

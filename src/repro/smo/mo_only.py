@@ -22,7 +22,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..opt import make_optimizer
 from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective, HopkinsMOObjective
+from .objective import AbbeSMOObjective, BatchedSMOObjective, HopkinsMOObjective
 from .parametrization import init_theta_mask, init_theta_source
 from .state import IterationRecord, SMOResult
 
@@ -32,7 +32,12 @@ Callback = Callable[[IterationRecord], None]
 
 
 class AbbeMO:
-    """Abbe-model inverse lithography with a fixed source."""
+    """Abbe-model inverse lithography with a fixed source.
+
+    ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
+    a stack optimizes a ``theta_M`` batch jointly through the fused
+    multi-tile forward, and records carry per-tile losses.
+    """
 
     method_name = "Abbe-MO"
 
@@ -46,7 +51,13 @@ class AbbeMO:
         objective: Optional[AbbeSMOObjective] = None,
     ):
         self.config = config
-        self.objective = objective or AbbeSMOObjective(config, target)
+        target = np.asarray(target, dtype=np.float64)
+        if objective is not None:
+            self.objective = objective
+        elif target.ndim == 3:
+            self.objective = BatchedSMOObjective(config, target)
+        else:
+            self.objective = AbbeSMOObjective(config, target)
         self._theta_j_fixed = ad.Tensor(init_theta_source(source, config))
         self._opt = make_optimizer(optimizer, lr)
         self.target = target
@@ -70,8 +81,15 @@ class AbbeMO:
             tm = ad.Tensor(theta_m, requires_grad=True)
             loss = self.objective.loss(self._theta_j_fixed, tm)
             (gm,) = ad.grad(loss, [tm])
+            tiles = getattr(self.objective, "last_tile_losses", None)
             theta_m = self._opt.step(theta_m, gm.data)
-            rec = IterationRecord(it, float(loss.data), time.perf_counter() - t0, "mo")
+            rec = IterationRecord(
+                it,
+                float(loss.data),
+                time.perf_counter() - t0,
+                "mo",
+                tile_losses=tiles,
+            )
             history.append(rec)
             if callback:
                 callback(rec)
@@ -85,7 +103,11 @@ class AbbeMO:
 
 
 class HopkinsMO:
-    """SOCS-truncated Hopkins ILT with a fixed source (MO baseline)."""
+    """SOCS-truncated Hopkins ILT with a fixed source (MO baseline).
+
+    Accepts a ``(B, N, N)`` target stack for joint batched ILT (the
+    Hopkins objective fuses the batch into one SOCS FFT stack).
+    """
 
     method_name = "Hopkins-MO"
 
@@ -122,8 +144,15 @@ class HopkinsMO:
             tm = ad.Tensor(theta_m, requires_grad=True)
             loss = self.objective.loss(tm)
             (gm,) = ad.grad(loss, [tm])
+            tiles = self.objective.last_tile_losses
             theta_m = self._opt.step(theta_m, gm.data)
-            rec = IterationRecord(it, float(loss.data), time.perf_counter() - t0, "mo")
+            rec = IterationRecord(
+                it,
+                float(loss.data),
+                time.perf_counter() - t0,
+                "mo",
+                tile_losses=tiles,
+            )
             history.append(rec)
             if callback:
                 callback(rec)

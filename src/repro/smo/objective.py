@@ -39,6 +39,7 @@ __all__ = [
     "AbbeSMOObjective",
     "HopkinsMOObjective",
     "BatchedSMOObjective",
+    "LoopedSMOObjective",
 ]
 
 
@@ -81,6 +82,33 @@ def _resist_images_fast(
         }
 
 
+def _tile_loss_vector(
+    images: Dict[str, np.ndarray], targets: np.ndarray, config: OpticalConfig
+) -> np.ndarray:
+    """Per-tile ``gamma * L2 + eta * L_pvb`` from batched resist images."""
+    axes = (1, 2)
+    l2 = ((images["resist"] - targets) ** 2).sum(axis=axes)
+    pvb = ((images["resist_max"] - targets) ** 2).sum(axis=axes) + (
+        (images["resist_min"] - targets) ** 2
+    ).sum(axis=axes)
+    return config.gamma * l2 + config.eta * pvb
+
+
+def _tile_losses_from_aerial(
+    aerial: np.ndarray, targets: np.ndarray, config: OpticalConfig
+) -> np.ndarray:
+    """Per-tile losses straight from a ``(B, N, N)`` aerial (no graph).
+
+    This is how batched objectives deliver per-tile diagnostics *for
+    free*: the aerial was already computed for the scalar loss, so the
+    per-tile split costs three resist sigmoids and a few sums — no extra
+    imaging forward.
+    """
+    with ad.no_grad():
+        images = _resist_images_fast(aerial, config)
+    return _tile_loss_vector(images, targets, config)
+
+
 class AbbeSMOObjective:
     """The unified Abbe-based SMO loss ``L_smo(theta_J, theta_M)``.
 
@@ -88,6 +116,10 @@ class AbbeSMOObjective:
     uses the same objective at both levels, Eq. (9)); which parameter a
     solver differentiates decides the role.
     """
+
+    num_tiles: int = 1
+    #: Single-tile objectives never stash per-tile losses.
+    last_tile_losses: Optional[np.ndarray] = None
 
     def __init__(
         self,
@@ -141,6 +173,11 @@ class HopkinsMOObjective:
     expensive, non-differentiable step that motivates the paper's
     Abbe-only framework.  Engines resolve through the shared optics
     cache, so a repeated (config, source, Q) triple decomposes once.
+
+    ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
+    a stack makes the objective joint over the batch (``theta_m`` must
+    then be a matching ``(B, N, N)`` parameter stack and the loss is the
+    sum over tiles, riding the engine's fused multi-tile forward).
     """
 
     def __init__(
@@ -153,10 +190,20 @@ class HopkinsMOObjective:
         engine: Optional[ImagingEngine] = None,
     ):
         self.config = config
-        self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
+        target = np.asarray(target, dtype=np.float64)
+        n = config.mask_size
+        if target.ndim not in (2, 3) or target.shape[-2:] != (n, n):
+            raise ValueError(
+                f"target must be ({n}, {n}) or (B, {n}, {n}); got {target.shape}"
+            )
+        self.num_tiles = target.shape[0] if target.ndim == 3 else 1
+        self._batched = target.ndim == 3
+        self.target = ad.Tensor(target)
         self._source_grid = source_grid
         self._num_kernels = num_kernels
         self.engine = engine or self._build_engine(source)
+        #: Per-tile losses of the latest :meth:`loss` call (batched only).
+        self.last_tile_losses: Optional[np.ndarray] = None
 
     def _build_engine(self, source: np.ndarray) -> ImagingEngine:
         if self._source_grid is not None:
@@ -174,9 +221,26 @@ class HopkinsMOObjective:
         self.engine = self._build_engine(source)
 
     def loss(self, theta_m: ad.Tensor) -> ad.Tensor:
+        if self._batched and (
+            theta_m.ndim != 3 or theta_m.shape[0] != self.num_tiles
+        ):
+            raise ValueError(
+                f"theta_m must be ({self.num_tiles}, N, N); got {theta_m.shape}"
+            )
         mask = mask_from_theta(theta_m, self.config)
         aerial = self.engine.aerial(mask)
+        if self._batched:
+            self.last_tile_losses = _tile_losses_from_aerial(
+                aerial.data, self.target.data, self.config
+            )
         return smo_loss_from_aerial(aerial, self.target, self.config)
+
+    def tile_losses(self, theta_m: np.ndarray) -> np.ndarray:
+        """Per-tile loss vector ``(B,)`` via the inference fast path."""
+        if not self._batched:
+            raise ValueError("tile_losses needs a (B, N, N) target stack")
+        images = self.images(theta_m)
+        return _tile_loss_vector(images, self.target.data, self.config)
 
     def images(self, theta_m: np.ndarray) -> Dict[str, np.ndarray]:
         with ad.no_grad():
@@ -223,6 +287,9 @@ class BatchedSMOObjective:
         self.num_tiles = targets.shape[0]
         self.targets = ad.Tensor(targets)
         self.engine = engine or engine_for(config, "abbe")
+        #: Per-tile loss vector of the most recent :meth:`loss` call,
+        #: derived from that call's aerial at no extra imaging cost.
+        self.last_tile_losses: Optional[np.ndarray] = None
 
     def loss(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
         """Batch SMO loss; ``theta_m`` is a ``(B, N, N)`` parameter stack."""
@@ -233,6 +300,9 @@ class BatchedSMOObjective:
         source = source_from_theta(theta_j, self.config)
         masks = mask_from_theta(theta_m, self.config)
         aerial = self.engine.aerial(masks, source)  # (B, N, N), one fused stack
+        self.last_tile_losses = _tile_losses_from_aerial(
+            aerial.data, self.targets.data, self.config
+        )
         total = smo_loss_from_aerial(aerial, self.targets, self.config)
         if self.reduction == "mean":
             total = F.div(total, float(self.num_tiles))
@@ -241,13 +311,37 @@ class BatchedSMOObjective:
     def tile_losses(self, theta_j: np.ndarray, theta_m: np.ndarray) -> np.ndarray:
         """Per-tile loss vector ``(B,)`` via the inference fast path."""
         images = self.images(theta_j, theta_m)
-        t = self.targets.data
-        axes = (1, 2)
-        l2 = ((images["resist"] - t) ** 2).sum(axis=axes)
-        pvb = ((images["resist_max"] - t) ** 2).sum(axis=axes) + (
-            (images["resist_min"] - t) ** 2
-        ).sum(axis=axes)
-        return self.config.gamma * l2 + self.config.eta * pvb
+        return _tile_loss_vector(images, self.targets.data, self.config)
+
+    def source_only_loss(self, theta_m: np.ndarray):
+        """FFT-free source-only loss closure at a fixed ``theta_M`` stack.
+
+        Abbe's aerial is linear in the normalized source weights, so at
+        fixed masks the per-source-point intensity basis ``X[b, s]`` is a
+        constant; the returned closure rebuilds ``L_smo(theta_J)`` from
+        ``X`` with a graph that never touches an FFT.  Exactly equal to
+        ``loss(theta_j, theta_m)`` as a function of ``theta_j`` — this is
+        the cheap inner-Hessian (HVP) oracle BiSMO uses in joint mode.
+        Returns ``None`` when the engine cannot expose the basis
+        (e.g. Hopkins, where the source is baked into the TCC).
+        """
+        if not hasattr(self.engine, "source_intensity_basis") or not hasattr(
+            self.engine, "aerial_from_basis"
+        ):
+            return None
+        with ad.no_grad():
+            masks = mask_from_theta(ad.Tensor(theta_m), self.config).data
+        basis = ad.Tensor(self.engine.source_intensity_basis(masks))
+
+        def loss_j(theta_j: ad.Tensor) -> ad.Tensor:
+            source = source_from_theta(theta_j, self.config)
+            aerial = self.engine.aerial_from_basis(basis, source)
+            total = smo_loss_from_aerial(aerial, self.targets, self.config)
+            if self.reduction == "mean":
+                total = F.div(total, float(self.num_tiles))
+            return total
+
+        return loss_j
 
     def images(self, theta_j: np.ndarray, theta_m: np.ndarray) -> Dict[str, np.ndarray]:
         """Batched intermediate images, all ``(B, N, N)`` (no graph)."""
@@ -259,3 +353,62 @@ class BatchedSMOObjective:
         )
         images.update(source=source, mask=masks, target=self.targets.data)
         return images
+
+
+class LoopedSMOObjective:
+    """Reference joint SMO loss: a Python loop over per-tile objectives.
+
+    Mathematically identical to :class:`BatchedSMOObjective` (same shared
+    ``theta_J``, same summed loss over the ``(B, N, N)`` ``theta_M``
+    stack) but each tile builds its own single-tile graph — the
+    pre-batching consumer pattern.  It also deliberately omits the
+    FFT-free ``source_only_loss`` HVP oracle, exactly as the per-clip
+    code it stands in for.  Kept as the equivalence oracle for the
+    batched solver tests and the wall-clock baseline of
+    ``benchmarks/bench_joint_smo.py``; production code should use the
+    fused batched objective.
+    """
+
+    def __init__(
+        self,
+        config: OpticalConfig,
+        targets: np.ndarray,
+        engine: Optional[ImagingEngine] = None,
+        reduction: str = "sum",
+    ):
+        self._batched = BatchedSMOObjective(config, targets, engine, reduction)
+        self.config = config
+        self.reduction = reduction
+        self.num_tiles = self._batched.num_tiles
+        self.targets = self._batched.targets
+        self.engine = self._batched.engine
+        self._per_tile = [
+            AbbeSMOObjective(config, t, engine=self.engine)
+            for t in self.targets.data
+        ]
+        #: Per-tile loss vector of the most recent :meth:`loss` call.
+        self.last_tile_losses: Optional[np.ndarray] = None
+
+    def loss(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
+        """Sum of B independent single-tile graphs (the slow path)."""
+        if theta_m.ndim != 3 or theta_m.shape[0] != self.num_tiles:
+            raise ValueError(
+                f"theta_m must be ({self.num_tiles}, N, N); got {theta_m.shape}"
+            )
+        total: Optional[ad.Tensor] = None
+        per_tile = np.empty(self.num_tiles)
+        for i, objective in enumerate(self._per_tile):
+            li = objective.loss(theta_j, F.getitem(theta_m, i))
+            per_tile[i] = float(li.data)
+            total = li if total is None else F.add(total, li)
+        assert total is not None
+        self.last_tile_losses = per_tile
+        if self.reduction == "mean":
+            total = F.div(total, float(self.num_tiles))
+        return total
+
+    def tile_losses(self, theta_j: np.ndarray, theta_m: np.ndarray) -> np.ndarray:
+        return self._batched.tile_losses(theta_j, theta_m)
+
+    def images(self, theta_j: np.ndarray, theta_m: np.ndarray) -> Dict[str, np.ndarray]:
+        return self._batched.images(theta_j, theta_m)

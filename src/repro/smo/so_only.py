@@ -15,7 +15,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..opt import make_optimizer
 from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective
+from .objective import AbbeSMOObjective, BatchedSMOObjective
 from .parametrization import init_theta_source
 from .state import IterationRecord, SMOResult
 
@@ -23,7 +23,12 @@ __all__ = ["SourceOptimizer"]
 
 
 class SourceOptimizer:
-    """Gradient-based SO: minimize L_so over theta_J with theta_M fixed."""
+    """Gradient-based SO: minimize L_so over theta_J with theta_M fixed.
+
+    A ``(B, N, N)`` target stack optimizes one shared source against a
+    fixed ``theta_M`` batch (the joint SO that motivates multi-clip SMO);
+    records then carry per-tile losses.
+    """
 
     method_name = "SO"
 
@@ -36,7 +41,13 @@ class SourceOptimizer:
         objective: Optional[AbbeSMOObjective] = None,
     ):
         self.config = config
-        self.objective = objective or AbbeSMOObjective(config, target)
+        target = np.asarray(target, dtype=np.float64)
+        if objective is not None:
+            self.objective = objective
+        elif target.ndim == 3:
+            self.objective = BatchedSMOObjective(config, target)
+        else:
+            self.objective = AbbeSMOObjective(config, target)
         self._opt = make_optimizer(optimizer, lr)
 
     def run(
@@ -56,8 +67,15 @@ class SourceOptimizer:
             tj = ad.Tensor(theta_j, requires_grad=True)
             loss = self.objective.loss(tj, tm_fixed)
             (gj,) = ad.grad(loss, [tj])
+            tiles = getattr(self.objective, "last_tile_losses", None)
             theta_j = self._opt.step(theta_j, gj.data)
-            rec = IterationRecord(it, float(loss.data), time.perf_counter() - t0, "so")
+            rec = IterationRecord(
+                it,
+                float(loss.data),
+                time.perf_counter() - t0,
+                "so",
+                tile_losses=tiles,
+            )
             history.append(rec)
             if callback:
                 callback(rec)

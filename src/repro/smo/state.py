@@ -18,6 +18,10 @@ class IterationRecord:
     loss: float
     seconds: float
     phase: str = ""  # "so" / "mo" / "bilevel" — used by convergence plots
+    #: Per-tile loss vector ``(B,)`` for joint multi-clip runs; ``None``
+    #: for single-tile solves.  Sums (up to the objective's reduction) to
+    #: ``loss``.
+    tile_losses: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -44,6 +48,24 @@ class SMOResult:
     @property
     def best_loss(self) -> float:
         return float(self.losses.min())
+
+    @property
+    def num_tiles(self) -> int:
+        """Batch size of a joint multi-clip run (1 for single-tile runs)."""
+        return int(self.theta_m.shape[0]) if self.theta_m.ndim == 3 else 1
+
+    def tile_loss_matrix(self) -> np.ndarray:
+        """Per-tile loss traces as a ``(T, B)`` array (joint runs only)."""
+        if not self.history or any(r.tile_losses is None for r in self.history):
+            raise ValueError("history carries no per-tile losses")
+        return np.stack([r.tile_losses for r in self.history])
+
+    @property
+    def final_tile_losses(self) -> np.ndarray:
+        """Last recorded per-tile loss vector ``(B,)`` (joint runs only)."""
+        if not self.history or self.history[-1].tile_losses is None:
+            raise ValueError("history carries no per-tile losses")
+        return self.history[-1].tile_losses
 
     def log_losses(self) -> np.ndarray:
         """log10 of the loss trace — the quantity plotted in Figure 3."""

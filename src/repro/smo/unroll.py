@@ -29,15 +29,26 @@ def unrolled_hypergradient(
     theta_m: np.ndarray,
     steps: int,
     inner_lr: float,
+    inner_optimizer: str = "sgd",
 ) -> Tuple[np.ndarray, np.ndarray, float]:
     """Differentiate L_mo through ``steps`` unrolled inner SGD updates.
 
     Returns ``(hypergradient_wrt_theta_m, new_theta_j, loss_value)``.
     Memory grows linearly with ``steps`` (every intermediate imaging
     stack is retained), which is the cost the paper's IFT methods avoid.
+
+    Only plain SGD inner updates can be unrolled here (a stateful inner
+    optimizer would need its state built into the graph), so any other
+    ``inner_optimizer`` is rejected instead of being silently replaced
+    by SGD.
     """
     if steps < 1:
         raise ValueError("unrolled differentiation needs at least one inner step")
+    if inner_optimizer.lower() != "sgd":
+        raise ValueError(
+            "unrolled_hypergradient supports inner_optimizer='sgd' only; "
+            f"got {inner_optimizer!r}"
+        )
     tm = ad.Tensor(theta_m, requires_grad=True)
     cur = ad.Tensor(theta_j, requires_grad=True)
     for _ in range(steps):

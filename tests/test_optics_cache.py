@@ -158,3 +158,62 @@ class TestAccounting:
         o1 = AbbeSMOObjective(cfg, tiny_target)
         o2 = AbbeSMOObjective(cfg, tiny_target)
         assert o1.engine is o2.engine
+
+    def test_clear_during_build_still_caches(self, cfg):
+        """A clear() racing a slow build must not orphan the insert.
+
+        The entry has to land in the *live* category dict so the next
+        lookup is a hit — the pre-fix behavior silently inserted into a
+        dict that clear() had already discarded.
+        """
+        calls = {"n": 0}
+
+        def build():
+            calls["n"] += 1
+            cache.clear()  # simulates a concurrent clear mid-build
+            return object()
+
+        first = cache._lookup("race", "key", build)
+        second = cache._lookup("race", "key", lambda: object())
+        assert second is first  # cached despite the clear
+        assert calls["n"] == 1
+        assert cache.stats()["race"]["hits"] == 1
+
+    def test_clear_during_build_keeps_stats_truthful(self, cfg):
+        def build():
+            cache.clear()
+            return object()
+
+        cache._lookup("race2", "k", build)
+        stats = cache.stats()["race2"]
+        # the post-clear insert re-registers the category, so the
+        # subsequent hit/miss accounting starts from a live dict
+        assert stats == {"hits": 0, "misses": 0}
+        cache._lookup("race2", "k", lambda: object())
+        assert cache.stats()["race2"]["hits"] == 1
+
+
+class TestWarmup:
+    def test_warmup_populates_config_keyed_categories(self, cfg):
+        cache.warmup(cfg)
+        stats = cache.stats()
+        for category in (
+            "freq_axes",
+            "freq_grid",
+            "source_grid",
+            "pupil_stack",
+            "abbe_engine",
+        ):
+            assert stats[category]["misses"] >= 1, category
+        cache.reset_stats()
+        engine = cache.abbe_engine(cfg)
+        assert engine is not None
+        stats = cache.stats()
+        assert stats["abbe_engine"] == {"hits": 1, "misses": 0}
+
+    def test_warmup_is_idempotent(self, cfg):
+        cache.warmup(cfg)
+        cache.reset_stats()
+        cache.warmup(cfg)
+        stats = cache.stats()
+        assert all(v["misses"] == 0 for v in stats.values())

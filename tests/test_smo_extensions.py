@@ -98,6 +98,26 @@ class TestStoppers:
         assert not stop.update(49.9)  # 0.2% — slow strike 1
         assert stop.update(49.9)  # slow strike 2 -> stop
 
+    def test_relative_improvement_fires_at_exact_zero(self):
+        """A run that bottoms out at loss == 0 must still stop: a zero
+        previous loss counts as plateau progress, not a skipped test."""
+        stop = RelativeImprovementStopper(rtol=0.01, patience=2)
+        assert not stop.update(1.0)
+        assert not stop.update(0.0)  # huge improvement -> not slow
+        assert not stop.update(0.0)  # zero prev: plateau strike 1
+        assert stop.update(0.0)  # plateau strike 2 -> stop
+
+    def test_relative_improvement_negative_prev_counts_as_plateau(self):
+        stop = RelativeImprovementStopper(rtol=0.01, patience=1)
+        stop.update(-5.0)
+        assert stop.update(-5.0)
+
+    def test_relative_improvement_reset_clears_zero_state(self):
+        stop = RelativeImprovementStopper(rtol=0.01, patience=1)
+        stop.update(0.0)
+        stop.reset()
+        assert not stop.update(0.0)  # first update never stops
+
     def test_gradient_norm(self):
         stop = GradientNormStopper(threshold=0.1)
         assert not stop.update(np.array([1.0, 1.0]))
