@@ -38,9 +38,11 @@ import numpy as np
 import pytest
 
 from repro.harness.runner import _annular_source
-from repro.layouts import Clip, dataset_by_name, tile_stack
+from repro.layouts import dataset_by_name, tile_stack
 from repro.optics import OpticalConfig
 from repro.smo import BatchedSMOObjective, BiSMO, LoopedSMOObjective
+
+from conftest import rescale_clips
 
 JOINT_SCALE = os.environ.get("BISMO_JOINT_SCALE", "tiny")
 NUM_CLIPS = int(os.environ.get("BISMO_JOINT_CLIPS", "8"))
@@ -54,21 +56,8 @@ CHECK_ONLY = os.environ.get("BISMO_JOINT_CHECK_ONLY", "0") == "1"
 @pytest.fixture(scope="module")
 def setup():
     cfg = OpticalConfig.preset(JOINT_SCALE)
-    ds = dataset_by_name("ICCAD13", num_clips=NUM_CLIPS)
-    if abs(ds[0].tile_nm - cfg.tile_nm) > 1e-9:
-        # Presets with a different tile pitch (tiny = 500 nm) get the
-        # same clip geometry rescaled onto their tile.
-        factor = cfg.tile_nm / ds[0].tile_nm
-        ds = [
-            Clip(
-                name=c.name,
-                rects=tuple(r.scaled(factor) for r in c.rects),
-                cd_nm=c.cd_nm,
-                tile_nm=cfg.tile_nm,
-            )
-            for c in ds
-        ]
-    targets = tile_stack(list(ds), cfg)
+    ds = rescale_clips(dataset_by_name("ICCAD13", num_clips=NUM_CLIPS), cfg)
+    targets = tile_stack(ds, cfg)
     source = _annular_source(cfg)
     return cfg, targets, source
 

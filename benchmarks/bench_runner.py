@@ -1,0 +1,93 @@
+"""Reusable bench-result recorder — the ``BENCH_*.json`` perf trajectory.
+
+Every perf-gating benchmark records its measurements through
+:func:`record_bench` so the repo accumulates a machine-readable
+trajectory of hot-path performance across PRs: each call *appends* a
+run entry (timestamp, git revision, environment fingerprint, payload)
+to ``BENCH_<name>.json`` at the repo root instead of overwriting it.
+Future sessions diff the latest entry against history to catch
+regressions that a pass/fail wall-clock gate alone would hide.
+
+Usage (from any bench module)::
+
+    from bench_runner import record_bench
+
+    record_bench("fused_imaging", {"speedup": 1.9, ...})
+
+``BISMO_BENCH_DIR`` redirects the output directory (CI points it at a
+scratch dir and uploads the JSON as a workflow artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["record_bench", "bench_dir", "MAX_RUNS"]
+
+#: Trajectory length bound; the oldest entries roll off.
+MAX_RUNS = 200
+
+
+def bench_dir() -> Path:
+    """Directory holding the ``BENCH_*.json`` files (repo root)."""
+    override = os.environ.get("BISMO_BENCH_DIR", "").strip()
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def _git_revision() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def record_bench(
+    name: str, payload: Dict[str, Any], path: Optional[os.PathLike] = None
+) -> Path:
+    """Append one run entry to ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` must be JSON-serializable; the helper adds the run
+    metadata (UTC timestamp, git revision, python/platform fingerprint,
+    CPU count).  A corrupt or legacy file is replaced rather than
+    crashing the benchmark that reports into it.
+    """
+    out = Path(path) if path is not None else bench_dir() / f"BENCH_{name}.json"
+    data: Dict[str, Any] = {"name": name, "runs": []}
+    if out.exists():
+        try:
+            loaded = json.loads(out.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                data = loaded
+        except (json.JSONDecodeError, OSError):
+            pass
+    data["name"] = name
+    data["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_revision": _git_revision(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "payload": payload,
+        }
+    )
+    data["runs"] = data["runs"][-MAX_RUNS:]
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return out

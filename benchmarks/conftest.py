@@ -21,11 +21,34 @@ import os
 import pytest
 
 from repro.harness import METHOD_ORDER, RunSettings, run_matrix
-from repro.layouts import dataset_by_name, DATASET_NAMES
+from repro.layouts import Clip, dataset_by_name, DATASET_NAMES
 
 BENCH_SCALE = os.environ.get("BISMO_BENCH_SCALE", "small")
 BENCH_CLIPS = int(os.environ.get("BISMO_BENCH_CLIPS", "1"))
 BENCH_ITERS = int(os.environ.get("BISMO_BENCH_ITERS", "25"))
+
+
+def rescale_clips(clips, config):
+    """Rescale dataset clips onto a preset's tile pitch.
+
+    Presets with a different tile (tiny = 500 nm vs the datasets'
+    2000 nm) get the same clip geometry scaled onto their tile, so every
+    bench can run at any scale.  Shared by the joint-SMO and
+    fused-imaging bench setups.
+    """
+    clips = list(clips)
+    if abs(clips[0].tile_nm - config.tile_nm) <= 1e-9:
+        return clips
+    factor = config.tile_nm / clips[0].tile_nm
+    return [
+        Clip(
+            name=c.name,
+            rects=tuple(r.scaled(factor) for r in c.rects),
+            cd_nm=c.cd_nm,
+            tile_nm=config.tile_nm,
+        )
+        for c in clips
+    ]
 
 
 @pytest.fixture(scope="session")

@@ -55,6 +55,8 @@ __all__ = [
     "make_complex",
     "fft2",
     "ifft2",
+    "incoherent_image",
+    "incoherent_image_composed",
     "getitem",
     "scatter",
     "matmul",
@@ -429,6 +431,25 @@ def make_complex(re: ArrayLike, im: ArrayLike) -> Tensor:
 # ----------------------------------------------------------------------
 # FFTs (always over the last two axes, numpy "backward" normalization)
 # ----------------------------------------------------------------------
+_fftlib = None
+
+
+def _get_fftlib():
+    """Resolve :mod:`repro.optics.fftlib` lazily.
+
+    The import happens at first *call* rather than at module import so
+    the autodiff package never participates in the
+    ``repro.optics.__init__`` import cycle (fftlib itself has no repro
+    dependencies).
+    """
+    global _fftlib
+    if _fftlib is None:
+        from ..optics import fftlib
+
+        _fftlib = fftlib
+    return _fftlib
+
+
 def fft2(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     ntot = x.shape[-1] * x.shape[-2]
@@ -436,7 +457,7 @@ def fft2(x: ArrayLike) -> Tensor:
     def vjp(g: Tensor):
         return (mul(ifft2(g), float(ntot)),)
 
-    return _make(np.fft.fft2(x.data), (x,), vjp, "fft2")
+    return _make(_get_fftlib().fft2(x.data), (x,), vjp, "fft2")
 
 
 def ifft2(x: ArrayLike) -> Tensor:
@@ -446,7 +467,291 @@ def ifft2(x: ArrayLike) -> Tensor:
     def vjp(g: Tensor):
         return (div(fft2(g), float(ntot)),)
 
-    return _make(np.fft.ifft2(x.data), (x,), vjp, "ifft2")
+    return _make(_get_fftlib().ifft2(x.data), (x,), vjp, "ifft2")
+
+
+# ----------------------------------------------------------------------
+# fused incoherent imaging (the Abbe / SOCS hot path)
+# ----------------------------------------------------------------------
+def _check_incoherent_args(mask: Tensor, pupil_stack: Tensor, weights: Tensor):
+    """Validate shapes/dtypes shared by the fused and composed variants."""
+    if pupil_stack.ndim != 3 or pupil_stack.shape[-2] != pupil_stack.shape[-1]:
+        raise ValueError(
+            f"pupil_stack must be (S, N, N); got {pupil_stack.shape}"
+        )
+    s, n = pupil_stack.shape[0], pupil_stack.shape[-1]
+    if mask.ndim not in (2, 3) or mask.shape[-2:] != (n, n):
+        raise ValueError(
+            f"mask must be ({n}, {n}) or (B, {n}, {n}); got {mask.shape}"
+        )
+    if weights.shape != (s,):
+        raise ValueError(f"weights must be ({s},); got {weights.shape}")
+    if weights.is_complex:
+        raise TypeError("incoherent_image weights must be real")
+    if pupil_stack.requires_grad:
+        raise ValueError(
+            "incoherent_image does not propagate gradients to the pupil "
+            "stack (it is a cached optical constant); detach it first"
+        )
+    return s, n
+
+
+def incoherent_image_composed(
+    mask: ArrayLike, pupil_stack: ArrayLike, weights: ArrayLike
+) -> Tensor:
+    """Reference incoherent sum from six composed autodiff ops.
+
+    Computes ``I[b] = sum_s w_s |IFFT2(H_s * FFT2(M_b))|^2`` as the
+    pre-fusion graph ``fft2 -> mul -> ifft2 -> abs2 -> mul -> sum`` that
+    the engines used through PR 2.  Every ``(B, S, N, N)`` intermediate
+    is materialized and retained by the backward graph — this is the
+    memory/time baseline :func:`incoherent_image` is benchmarked
+    against, and the oracle its gradients are tested against.
+    """
+    mask = as_tensor(mask)
+    pupil_stack = as_tensor(pupil_stack)
+    weights = as_tensor(weights)
+    s, n = _check_incoherent_args(mask, pupil_stack, weights)
+    single = mask.ndim == 2
+    m3 = reshape(mask, (1, n, n)) if single else mask
+    b = m3.shape[0]
+    spectra = mul(
+        reshape(pupil_stack, (1, s, n, n)), reshape(fft2(m3), (b, 1, n, n))
+    )
+    intensities = abs2(ifft2(spectra))  # (B, S, N, N)
+    out = sum(mul(reshape(weights, (1, s, 1, 1)), intensities), axis=1)
+    return reshape(out, (n, n)) if single else out
+
+
+def _conj_pair_reps(conj_pairs, s: int) -> np.ndarray:
+    """Validate an involutive conjugate pairing; return representatives.
+
+    ``conj_pairs[i] = j`` declares ``kernel_j(f) == kernel_i(-f)``; the
+    map must be an involution over ``range(s)``.  Representatives are
+    the indices with ``conj_pairs[i] >= i`` (each pair's lower index,
+    plus every self-paired kernel).
+    """
+    cp = np.asarray(conj_pairs)
+    if cp.shape != (s,) or not np.issubdtype(cp.dtype, np.integer):
+        raise ValueError(f"conj_pairs must be ({s},) integer; got {cp.shape}")
+    if not np.array_equal(cp[cp], np.arange(s)):
+        raise ValueError("conj_pairs must be an involution over range(S)")
+    return np.nonzero(cp >= np.arange(s))[0]
+
+
+def incoherent_image(
+    mask: ArrayLike,
+    pupil_stack: ArrayLike,
+    weights: ArrayLike,
+    chunk: Optional[int] = None,
+    conj_pairs: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Fused weighted incoherent sum ``I[b] = sum_s w_s |IFFT2(H_s FFT2(M_b))|^2``.
+
+    One graph node replaces the six composed ops of
+    :func:`incoherent_image_composed`.  The forward streams over
+    source-axis chunks of ``chunk`` kernels (default
+    :func:`repro.optics.fftlib.get_stream_chunk`): each chunk is one
+    transient ``(B, chunk, N, N)`` transform block, so peak working
+    memory is ``O(B * chunk * N^2)`` instead of the composed path's
+    several *retained* ``O(B * S * N^2)`` intermediates; only the
+    ``(B, N, N)`` mask spectra are saved for the backward pass.
+
+    The hand-written VJP *recomputes* the per-chunk coherent fields
+    instead of retaining the field stack, emitting mask gradients
+
+    ``gM[b] = IFFT2( sum_s conj(H_s) * FFT2(2 w_s g[b] F[b,s]) )``
+
+    (the backward-normalization factors cancel) and weight gradients
+    ``gw[s] = sum_b <g[b], |F[b,s]|^2>`` with the same streamed chunk
+    loop.  ``mask`` may be real or complex, single ``(N, N)`` or
+    batched ``(B, N, N)``; ``weights`` must be real (pass normalized
+    source weights for Abbe, SOCS eigenvalues for Hopkins); the pupil
+    stack is treated as a constant (no gradient).
+
+    Conjugate-pair streaming: ``conj_pairs`` declares the frequency-
+    reversal pairing ``kernel_{conj_pairs[s]}(f) == kernel_s(-f)``
+    (Abbe's shifted pupils for a point-symmetric source grid satisfy
+    it; see ``AbbeImaging``).  For a *real* mask and *real* kernels the
+    paired field is the complex conjugate of its mate's — ``F[b,s'] ==
+    conj(F[b,s])`` — so only one kernel per pair is transformed and
+    both weights ride the shared field, halving the FFT work in the
+    forward and in the streamed VJP (the mirrored gradient term is
+    recovered with one frequency reversal per backward).  The pairing
+    is ignored (exact fallback) for complex masks, complex kernels, or
+    a complex upstream gradient.
+
+    Double backward: the streamed VJP returns graph-free gradients, so
+    when the backward pass itself must be differentiable — ``ad.grad(...,
+    create_graph=True)`` in the BiSMO HVP/mixed-JVP oracles and the
+    unroll path — the VJP detects grad-recording mode and falls back to
+    rebuilding the exact composed-op gradient expressions, which carry
+    their own graph.  The fallback costs the composed path's memory but
+    only runs where second-order products are requested.
+    """
+    mask = as_tensor(mask)
+    pupil_stack = as_tensor(pupil_stack)
+    weights = as_tensor(weights)
+    s, n = _check_incoherent_args(mask, pupil_stack, weights)
+    fl = _get_fftlib()
+    csize = fl.get_stream_chunk() if chunk is None else int(chunk)
+    if csize < 1:
+        raise ValueError(f"chunk must be >= 1; got {csize}")
+    cp = reps = None
+    if conj_pairs is not None:
+        reps_all = _conj_pair_reps(conj_pairs, s)
+        if not mask.is_complex and not pupil_stack.is_complex:
+            cp, reps = np.asarray(conj_pairs), reps_all
+    single = mask.ndim == 2
+    tiles = mask.data[None] if single else mask.data
+    b = tiles.shape[0]
+    kern = pupil_stack.data
+    w = weights.data
+    fm = fl.fft2(tiles)  # (B, N, N) spectra — the only saved activation
+    nn = n * n
+    if reps is None:
+        kern_r, w_eff, r = kern, w, s
+    else:
+        kern_r = kern[reps]  # (R, N, N) representatives, R ~ S/2
+        mates = cp[reps]
+        w_eff = w[reps] + np.where(mates != reps, w[mates], 0.0)
+        r = reps.size
+    out = np.zeros((b, n, n), dtype=np.float64)
+    for lo in range(0, r, csize):
+        hi = min(r, lo + csize)
+        # One (B, C, N, N) transform block per chunk: big enough to
+        # amortize dispatch, small enough to stay transient.
+        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
+        intens = np.square(fields.real)
+        intens += np.square(fields.imag)
+        out += (w_eff[lo:hi] @ intens.reshape(b, hi - lo, nn)).reshape(b, n, n)
+    out_data = out[0] if single else out
+
+    def vjp(g: Tensor):
+        if is_grad_enabled():
+            # create_graph backward: fall back to the composed-op
+            # gradient expressions so the returned grads are themselves
+            # differentiable (exact HVPs / unroll hypergradients).
+            return _incoherent_vjp_composed(g, mask, pupil_stack, weights)
+        return _incoherent_vjp_streamed(
+            g, mask, pupil_stack, weights, fm, csize, cp, reps
+        )
+
+    return _make(
+        out_data, (mask, pupil_stack, weights), vjp, "incoherent_image"
+    )
+
+
+def _incoherent_vjp_streamed(
+    g: Tensor,
+    mask: Tensor,
+    pupil_stack: Tensor,
+    weights: Tensor,
+    fm: np.ndarray,
+    csize: int,
+    cp: Optional[np.ndarray],
+    reps: Optional[np.ndarray],
+):
+    """Graph-free streamed gradients (first-order backward hot path)."""
+    fl = _get_fftlib()
+    s, n = pupil_stack.shape[0], pupil_stack.shape[-1]
+    single = mask.ndim == 2
+    b = fm.shape[0]
+    gd = g.data[None] if single else g.data
+    kern = pupil_stack.data
+    w = weights.data
+    need_mask = mask.requires_grad
+    need_w = weights.requires_grad
+    nn = n * n
+    # Conjugate pairing additionally needs a real upstream gradient
+    # (the mirrored-term identity conjugates g); fall back otherwise.
+    use_pairs = reps is not None and not np.iscomplexobj(gd)
+    if use_pairs:
+        kern_r = kern[reps]
+        mates = cp[reps]
+        is_pair = mates != reps
+        w_direct, w_mirror = w[reps], np.where(is_pair, w[mates], 0.0)
+        r = reps.size
+    else:
+        kern_r, r = kern, s
+    gw = (
+        np.zeros(s, dtype=np.complex128 if np.iscomplexobj(gd) else np.float64)
+        if need_w
+        else None
+    )
+    acc = acc_mirror = None
+    if need_mask:
+        gd2 = 2.0 * gd  # (B, N, N)
+        acc = np.zeros((b, n, n), dtype=np.complex128)
+        # The w_s factor commutes with the FFT, so it folds into the
+        # per-chunk conj-kernel contraction (one pass fewer per block).
+        if use_pairs:
+            wkc = w_direct[:, None, None] * kern_r  # real kernels
+            wkc_mirror = w_mirror[:, None, None] * kern_r
+            acc_mirror = np.zeros((b, n, n), dtype=np.complex128)
+        else:
+            wkc = w[:, None, None] * np.conj(kern)
+    for lo in range(0, r, csize):
+        hi = min(r, lo + csize)
+        # Recomputed (B, C, N, N) block, never retained.
+        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
+        if need_w:
+            intens = np.square(fields.real)
+            intens += np.square(fields.imag)
+            val = (intens.reshape(b, hi - lo, nn) @ gd.reshape(b, nn, 1))[
+                :, :, 0
+            ].sum(axis=0)
+            if use_pairs:
+                # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
+                gw[reps[lo:hi]] += val
+                pc = is_pair[lo:hi]
+                gw[mates[lo:hi][pc]] += val[pc]
+            else:
+                gw[lo:hi] += val
+        if need_mask:
+            fields *= gd2[:, None]  # in-place: no second block temp
+            t = fl.fft2(fields, overwrite_x=True)
+            acc += np.einsum("cij,bcij->bij", wkc[lo:hi], t)
+            if use_pairs:
+                acc_mirror += np.einsum("cij,bcij->bij", wkc_mirror[lo:hi], t)
+    gm_out = None
+    if need_mask:
+        if use_pairs:
+            # Mate term: conj(H_s')*FFT(2 w g conj(F_s)) == the direct
+            # term conjugated and frequency-reversed (one pass total).
+            acc += np.conj(fl.freq_reverse(acc_mirror))
+        gm = fl.ifft2(acc, overwrite_x=True)
+        gm_out = Tensor(gm[0] if single else gm)
+    return (gm_out, None, Tensor(gw) if need_w else None)
+
+
+def _incoherent_vjp_composed(
+    g: Tensor, mask: Tensor, pupil_stack: Tensor, weights: Tensor
+):
+    """Differentiable gradients via the composed ops (create_graph path).
+
+    Rebuilds the coherent fields with graph-recording functional ops and
+    expresses the exact gradient formulas with them, so the returned
+    tensors can be differentiated again (the property BiSMO's exact
+    HVP / mixed-JVP oracles and the unroll path rely on).
+    """
+    s, n = pupil_stack.shape[0], pupil_stack.shape[-1]
+    single = mask.ndim == 2
+    m3 = reshape(mask, (1, n, n)) if single else mask
+    b = m3.shape[0]
+    g4 = reshape(g, (1, 1, n, n)) if single else reshape(g, (b, 1, n, n))
+    p4 = reshape(pupil_stack, (1, s, n, n))
+    fields = ifft2(mul(p4, reshape(fft2(m3), (b, 1, n, n))))  # (B, S, N, N)
+    gm_out = gw_out = None
+    if weights.requires_grad:
+        gw_out = sum(mul(g4, abs2(fields)), axis=(0, 2, 3))
+    if mask.requires_grad:
+        wf = reshape(weights, (1, s, 1, 1))
+        gfields = mul(mul(g4, 2.0), mul(wf, fields))
+        # The fft2/ifft2 backward-normalization factors cancel exactly.
+        gm = ifft2(sum(mul(fft2(gfields), conj(p4)), axis=1))
+        gm_out = reshape(gm, (n, n)) if single else gm
+    return (gm_out, None, gw_out)
 
 
 # ----------------------------------------------------------------------

@@ -31,8 +31,9 @@ class MultiLevelILT:
     """Coarse-to-fine Hopkins ILT with the SMO process-window loss.
 
     ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
-    a stack runs every level on the whole batch at once (one fused SOCS
-    FFT stack per step) and records per-tile losses.
+    a stack runs every level on the whole batch at once (one fused
+    ``incoherent_image`` node over the SOCS kernels per step) and
+    records per-tile losses.
     """
 
     method_name = "DAC23-MILT"

@@ -33,7 +33,8 @@ class NILTBaseline:
 
     ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
     a stack optimizes the whole mask batch jointly through the engine's
-    fused multi-tile forward, with per-tile losses in every record.
+    fused multi-tile forward — one ``incoherent_image`` node over the
+    SOCS kernel stack per step — with per-tile losses in every record.
     """
 
     method_name = "NILT"

@@ -22,6 +22,7 @@ Two scale axes on top of the per-cell engine:
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -328,10 +329,20 @@ def _run_cell(cell: _Cell, settings: RunSettings) -> List[RunRecord]:
     return [run_clip(method, payload, settings, ds_name)]
 
 
-def _worker_warmup(config: OpticalConfig) -> None:
-    """Process-pool initializer: pre-build the shared optics cache."""
-    from ..optics import cache
+def _worker_warmup(config: OpticalConfig, fft_workers: Optional[int] = None) -> None:
+    """Process-pool initializer: pre-build the shared optics cache and
+    cap the per-process FFT thread count.
 
+    With N worker processes each defaulting to one pocketfft thread per
+    CPU, a sharded sweep would oversubscribe every core N-fold; the
+    parent hands each worker its fair share instead.  FFT results are
+    bitwise identical for any worker count, so the sweep's
+    byte-identical-records guarantee is unaffected.
+    """
+    from ..optics import cache, fftlib
+
+    if fft_workers is not None:
+        fftlib.set_workers(fft_workers)
     cache.warmup(config)
 
 
@@ -378,10 +389,11 @@ def run_matrix(
                 progress(_cell_label(cell))
             records.extend(_run_cell(cell, settings))
         return records
+    fft_workers = max(1, (os.cpu_count() or 1) // workers)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_warmup,
-        initargs=(settings.config,),
+        initargs=(settings.config, fft_workers),
     ) as pool:
         futures = [pool.submit(_run_cell, cell, settings) for cell in cells]
         for cell, future in zip(cells, futures):

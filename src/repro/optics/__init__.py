@@ -1,8 +1,10 @@
 """Lithography simulation substrate: optical configuration, source
 templates, pupil, the unified :class:`ImagingEngine` protocol with its
-Abbe and Hopkins/SOCS implementations, the shared optics cache, and the
-resist model."""
+Abbe and Hopkins/SOCS implementations, the shared optics cache, the
+unified FFT dispatch (:mod:`repro.optics.fftlib`), and the resist
+model."""
 
+from . import fftlib
 from .config import OpticalConfig
 from .source import (
     SourceGrid,
@@ -44,4 +46,5 @@ __all__ = [
     "printed_area_nm2",
     "calibrate_threshold",
     "cache",
+    "fftlib",
 ]

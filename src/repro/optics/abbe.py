@@ -6,12 +6,18 @@ coherent image intensity:
     I(x, y) = sum_s  j_s * | IFFT( H(f + f_s, g + g_s) * FFT(M) ) |^2
 
 Because every source point's contribution is independent, the whole sum
-is evaluated as ONE batched FFT over a ``(S, N, N)`` stack — the same
-structure the paper exploits on a GPU (Section 3.1 "Abbe acceleration").
-The engine extends that idea across layout tiles: a ``(B, N, N)`` mask
-batch is imaged as a single fused ``(B*S, N, N)`` FFT stack instead of B
-independent passes.  A per-point Python loop
-(:meth:`AbbeImaging.aerial_loop`) is kept for the acceleration benchmark.
+is evaluated as ONE fused graph node — the same structure the paper
+exploits on a GPU (Section 3.1 "Abbe acceleration").  Since PR 3 that
+node is :func:`repro.autodiff.functional.incoherent_image`: the forward
+streams over source-axis chunks and the hand-written VJP recomputes the
+per-chunk coherent fields, so neither direction retains a ``(B, S, N,
+N)`` stack; all transforms dispatch through
+:mod:`repro.optics.fftlib`.  For real masks the engine additionally
+hands the primitive its verified ``+/-sigma`` conjugate pairing
+(``F_{-sigma} = conj(F_{+sigma})`` when the pupils are real), halving
+the FFT work in both directions.  A per-point Python loop
+(:meth:`AbbeImaging.aerial_loop`) is kept for the acceleration
+benchmark, and ``fused=False`` restores the composed-op graph.
 
 Total intensity is normalized by the summed source weight so a clear
 field images at intensity 1 for any source shape; this keeps a single
@@ -51,6 +57,13 @@ class AbbeImaging:
         and the shifted pupil stack are fetched from the shared optics
         cache, so engines with equal configs share one stack.
 
+    fused:
+        When True (default) :meth:`aerial` is one fused
+        :func:`repro.autodiff.functional.incoherent_image` node with a
+        streamed hand-written VJP; ``False`` selects the pre-fusion
+        composed-op graph (kept as the parity/benchmark reference —
+        see ``benchmarks/bench_fused_imaging.py``).
+
     Both :meth:`aerial` arguments are autodiff tensors, so gradients flow
     to the mask *and* the source — the property that Hopkins/SOCS lacks
     and that enables joint SMO (Section 2.1 discussion).
@@ -61,9 +74,11 @@ class AbbeImaging:
         config: OpticalConfig,
         source_grid: Optional[SourceGrid] = None,
         defocus_nm: float = 0.0,
+        fused: bool = True,
     ):
         config.validate_sampling()
         self.config = config
+        self.fused = bool(fused)
         self.defocus_nm = float(defocus_nm)
         if source_grid is None:
             from . import cache
@@ -87,8 +102,45 @@ class AbbeImaging:
             self._pupil_stack = ad.Tensor(stack)
             self._valid_index = valid_index
         self.num_source_points = self._pupil_stack.shape[0]
+        self._conj_pairs = self._build_conj_pairs()
 
     # ------------------------------------------------------------------
+    def _build_conj_pairs(self) -> Optional[np.ndarray]:
+        """Frequency-reversal pairing of the shifted pupils, if any.
+
+        The source grid is point-symmetric, so the pupil shifted by
+        ``sigma`` is the frequency reversal of the one shifted by
+        ``-sigma`` — the structure the fused primitive exploits to
+        evaluate only one field per ``+/-sigma`` pair on real masks.
+        The candidate pairing (from the source coordinates) is verified
+        against the actual pupil samples, so defocused (complex) or
+        asymmetric custom stacks simply opt out (``None``).
+        """
+        from . import fftlib
+
+        stack = self._pupil_stack.data
+        if np.iscomplexobj(stack):
+            return None
+        rows, cols = self._valid_index
+        sx = self.source_grid.sigma_x[rows, cols]
+        sy = self.source_grid.sigma_y[rows, cols]
+        index = {
+            (round(float(x), 9), round(float(y), 9)): i
+            for i, (x, y) in enumerate(zip(sx, sy))
+        }
+        pairs = np.empty(sx.size, dtype=np.intp)
+        for i, (x, y) in enumerate(zip(sx, sy)):
+            j = index.get((round(float(-x), 9), round(float(-y), 9)))
+            if j is None:
+                return None
+            pairs[i] = j
+        # Pupils are exact 0/1 indicators, so the reversal identity can
+        # be checked bitwise (one-time cost per engine build).
+        reps = np.nonzero(pairs > np.arange(pairs.size))[0]
+        if not np.array_equal(stack[pairs[reps]], fftlib.freq_reverse(stack[reps])):
+            return None
+        return pairs
+
     def source_weights(self, source: ad.Tensor) -> ad.Tensor:
         """Extract the valid-point weight vector ``j_s`` from a source image."""
         return F.getitem(source, self._valid_index)
@@ -104,31 +156,14 @@ class AbbeImaging:
         if source is None:
             raise ValueError("AbbeImaging.aerial requires a source image")
         j = self.source_weights(source)
-        norm = F.add(F.sum(j), _EPS)
-        s = self.num_source_points
-        if mask.ndim == 2:
-            fm = F.fft2(mask)
-            fields = F.ifft2(F.mul(self._pupil_stack, fm))  # (S, N, N)
-            intensities = F.abs2(fields)
-            jw = F.reshape(j, (s, 1, 1))
-            total = F.sum(F.mul(jw, intensities), axis=0)
-            return F.div(total, norm)
-        if mask.ndim != 3:
-            raise ValueError(f"mask must be (N, N) or (B, N, N); got {mask.shape}")
-        b, n = mask.shape[0], mask.shape[-1]
-        fm = F.fft2(mask)  # (B, N, N)
-        spectra = F.mul(
-            F.reshape(self._pupil_stack, (1, s, n, n)),
-            F.reshape(fm, (b, 1, n, n)),
-        )
-        # One fused (B, S, N, N) stack: the whole batch rides a single
-        # vectorized inverse FFT (last-two-axes transform) instead of B
-        # independent passes, with no flatten/unflatten graph nodes.
-        intensities = F.abs2(F.ifft2(spectra))
         # Normalizing the (S,) weight vector instead of the (B, N, N)
         # output keeps the division off the big array.
-        jw = F.reshape(F.div(j, norm), (1, s, 1, 1))
-        return F.sum(F.mul(jw, intensities), axis=1)  # (B, N, N)
+        jn = F.div(j, F.add(F.sum(j), _EPS))
+        if self.fused:
+            return F.incoherent_image(
+                mask, self._pupil_stack, jn, conj_pairs=self._conj_pairs
+            )
+        return F.incoherent_image_composed(mask, self._pupil_stack, jn)
 
     def aerial_fast(
         self, mask: MaskLike, source: Optional[MaskLike] = None
@@ -159,27 +194,33 @@ class AbbeImaging:
         the source.  At a fixed mask the basis is therefore a constant,
         and any source-only quantity (SO losses, inner-Hessian products
         in bilevel SMO) can be rebuilt from it without touching an FFT.
-        Returns a ``(B, S, N, N)`` numpy array computed with exactly the
-        ops of :meth:`aerial` (bitwise-matching intensities).
+        Returns a ``(B, S, N, N)`` numpy array.  The decomposition is
+        mathematically exact; numerically it matches the fused
+        :meth:`aerial` to floating-point rounding (~1e-16 relative — the
+        fused forward accumulates in conjugate-paired chunks, so the
+        summation order differs).
         """
+        from . import fftlib
+
         tiles, _ = as_tile_batch(masks, self.config.mask_size)
         kernels = self._pupil_stack.data
-        fm = np.fft.fft2(tiles)  # (B, N, N)
+        fm = fftlib.fft2(tiles)  # (B, N, N)
         out = np.empty((tiles.shape[0],) + kernels.shape)
         # Tile-at-a-time keeps the working set cache-sized; per-tile
         # results are bitwise identical to the full-stack transform.
         for b in range(tiles.shape[0]):
-            fields = np.fft.ifft2(kernels * fm[b])
+            fields = fftlib.ifft2(kernels * fm[b], overwrite_x=True)
             out[b] = (fields * np.conj(fields)).real
         return out  # (B, S, N, N)
 
     def aerial_from_basis(self, basis: ad.Tensor, source: ad.Tensor) -> ad.Tensor:
         """Differentiable aerial from a fixed intensity basis (FFT-free).
 
-        Numerically identical to the batched :meth:`aerial` at the mask
-        that produced ``basis``, but the graph touches only the source
-        parameters — the cheap path for source-only gradients and exact
-        inner-Hessian oracles.
+        Equal to the batched :meth:`aerial` at the mask that produced
+        ``basis`` as a *function* of the source (same derivatives, hence
+        exact inner-Hessian oracles) and numerically to fp rounding, but
+        the graph touches only the source parameters — the cheap path
+        for source-only gradients.
         """
         j = self.source_weights(source)
         norm = F.add(F.sum(j), _EPS)

@@ -138,7 +138,9 @@ def freq_axes(config: OpticalConfig) -> Tuple[np.ndarray, np.ndarray]:
     """Memoized FFT frequency axes (1/nm) for the mask grid."""
 
     def build() -> Tuple[np.ndarray, np.ndarray]:
-        f = _freeze(np.fft.fftfreq(config.mask_size, d=config.pixel_nm))
+        from . import fftlib
+
+        f = _freeze(fftlib.fftfreq(config.mask_size, d=config.pixel_nm))
         return f, f
 
     return _lookup("freq_axes", _grid_key(config), build)

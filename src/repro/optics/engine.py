@@ -28,15 +28,8 @@ from typing import Optional, Protocol, Tuple, Union, runtime_checkable
 
 import numpy as np
 
-try:  # scipy's pocketfft allows in-place transforms on the fast path
-    import scipy.fft as _fft
-
-    _IFFT2_KW = {"overwrite_x": True}
-except ImportError:  # pragma: no cover - scipy is a baseline dependency
-    _fft = np.fft
-    _IFFT2_KW = {}
-
 from .. import autodiff as ad
+from . import fftlib
 from .config import OpticalConfig
 
 __all__ = ["ImagingEngine", "MaskLike", "as_tile_batch", "incoherent_sum_fast", "engine_for"]
@@ -101,20 +94,32 @@ def incoherent_sum_fast(
     pruned (exact), and tiles are processed one at a time so the working
     set stays cache-sized instead of materializing a ``(B*K, N, N)``
     intermediate.
+
+    All transforms dispatch through :mod:`repro.optics.fftlib` (backend
+    and worker count are env/config-controlled), and this inference-only
+    path honors the fftlib compute-precision policy: under
+    ``fftlib.set_precision("single")`` the transforms run in
+    complex64 (scipy backend) and the result is cast back to float64.
     """
     active = np.nonzero(weights)[0]
     if active.size < weights.size:
         kernel_stack = kernel_stack[active]
         weights = weights[active]
-    out = np.empty_like(tiles)
+    out = np.empty(tiles.shape, dtype=np.float64)
     if active.size == 0:
         out.fill(0.0)
         return out
+    ftype, ctype = fftlib.compute_dtypes()
+    tiles = tiles.astype(ctype if np.iscomplexobj(tiles) else ftype, copy=False)
+    kernel_stack = kernel_stack.astype(
+        ctype if np.iscomplexobj(kernel_stack) else ftype, copy=False
+    )
+    weights = weights.astype(ftype, copy=False)
     flat = weights.size
     n2 = tiles.shape[-2] * tiles.shape[-1]
-    spectra = _fft.fft2(tiles)  # (B, N, N)
+    spectra = fftlib.fft2(tiles)  # (B, N, N)
     for b in range(tiles.shape[0]):
-        fields = _fft.ifft2(kernel_stack * spectra[b], **_IFFT2_KW)
+        fields = fftlib.ifft2(kernel_stack * spectra[b], overwrite_x=True)
         intensity = np.square(fields.real) + np.square(fields.imag)
         out[b] = (weights @ intensity.reshape(flat, n2)).reshape(tiles.shape[1:])
     out /= norm

@@ -1,0 +1,264 @@
+"""Unified FFT dispatch for every transform in the codebase.
+
+Before this module existed the differentiable ops in
+:mod:`repro.autodiff.functional` went through single-threaded
+``np.fft`` while the inference fast path used a module-local scipy
+import — two backends, one of them pinned to the slowest option on the
+hottest path.  ``fftlib`` centralizes the choice:
+
+* **Backend** — scipy's pocketfft (``scipy.fft``) when importable,
+  ``np.fft`` otherwise.  Override with ``REPRO_FFT_BACKEND`` in
+  ``{"auto", "scipy", "numpy"}`` or :func:`set_backend`.  Requesting
+  scipy without scipy installed falls back to numpy (documented,
+  silent: the results are identical, only speed differs).
+* **Workers** — pocketfft releases the GIL and threads across the
+  batch of independent 2-D transforms; ``REPRO_FFT_WORKERS`` /
+  :func:`set_workers` control the thread count (``0`` = one worker per
+  CPU).  Per-transform results carry no cross-thread reductions, so
+  multi-worker output is bitwise identical to serial output — the
+  parallel-harness determinism guarantees survive.
+* **Precision** — an opt-in float32/complex64 compute policy for
+  *inference* paths (``REPRO_FFT_PRECISION`` in ``{"double",
+  "single"}`` / :func:`set_precision`).  Only consumers that
+  explicitly ask via :func:`compute_dtypes` (the graph-free
+  ``incoherent_sum_fast``) honor it; differentiable ops always run in
+  double so gradients and parity tests are unaffected.  With the numpy
+  backend single precision is best-effort (``np.fft`` computes in
+  double internally).
+* **Streaming chunk** — the source-axis chunk size used by the fused
+  :func:`repro.autodiff.functional.incoherent_image` primitive
+  (``REPRO_FFT_CHUNK`` / :func:`set_stream_chunk`).
+
+This module deliberately imports nothing from :mod:`repro` so the
+autodiff layer can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+try:  # scipy's pocketfft: multi-threaded, in-place capable
+    import scipy.fft as _scipy_fft
+except ImportError:  # pragma: no cover - scipy is a baseline dependency
+    _scipy_fft = None
+
+__all__ = [
+    "fft2",
+    "ifft2",
+    "fftfreq",
+    "get_backend",
+    "set_backend",
+    "available_backends",
+    "get_workers",
+    "set_workers",
+    "effective_workers",
+    "get_precision",
+    "set_precision",
+    "compute_dtypes",
+    "get_stream_chunk",
+    "set_stream_chunk",
+    "use",
+    "describe",
+]
+
+_BACKENDS = ("scipy", "numpy")
+_PRECISIONS = ("double", "single")
+
+
+def _env_backend() -> str:
+    name = os.environ.get("REPRO_FFT_BACKEND", "auto").strip().lower()
+    if name in ("auto", ""):
+        return "scipy" if _scipy_fft is not None else "numpy"
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"REPRO_FFT_BACKEND={name!r}; choose from {('auto',) + _BACKENDS}"
+        )
+    if name == "scipy" and _scipy_fft is None:
+        return "numpy"
+    return name
+
+
+def _env_int(var: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return default
+    value = int(raw)
+    if value < minimum:
+        raise ValueError(f"{var} must be >= {minimum}; got {value}")
+    return value
+
+
+#: Mutable module state (one process-wide policy, like the optics cache).
+_STATE = {
+    "backend": _env_backend(),
+    "workers": _env_int("REPRO_FFT_WORKERS", 0, 0),  # 0 = one per CPU
+    "precision": os.environ.get("REPRO_FFT_PRECISION", "double").strip().lower()
+    or "double",
+    "chunk": _env_int("REPRO_FFT_CHUNK", 16, 1),
+}
+if _STATE["precision"] not in _PRECISIONS:
+    raise ValueError(
+        f"REPRO_FFT_PRECISION={_STATE['precision']!r}; choose from {_PRECISIONS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# policy accessors
+# ----------------------------------------------------------------------
+def available_backends() -> Tuple[str, ...]:
+    """Backends importable in this environment."""
+    return _BACKENDS if _scipy_fft is not None else ("numpy",)
+
+
+def get_backend() -> str:
+    return _STATE["backend"]
+
+
+def set_backend(name: str) -> None:
+    """Select ``"scipy"`` or ``"numpy"`` (``"auto"`` re-resolves)."""
+    name = name.strip().lower()
+    if name == "auto":
+        name = "scipy" if _scipy_fft is not None else "numpy"
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown FFT backend {name!r}; choose from {_BACKENDS}")
+    if name == "scipy" and _scipy_fft is None:
+        raise ValueError("scipy backend requested but scipy is not installed")
+    _STATE["backend"] = name
+
+
+def get_workers() -> int:
+    """Configured worker count (``0`` means one per CPU)."""
+    return _STATE["workers"]
+
+
+def set_workers(n: int) -> None:
+    if n < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto); got {n}")
+    _STATE["workers"] = int(n)
+
+
+_CPU_COUNT = os.cpu_count() or 1
+
+
+def effective_workers() -> int:
+    """The worker count actually handed to pocketfft (always >= 1)."""
+    n = _STATE["workers"]
+    if n == 0:
+        n = _CPU_COUNT
+    return max(1, n)
+
+
+def get_precision() -> str:
+    return _STATE["precision"]
+
+
+def set_precision(precision: str) -> None:
+    """``"double"`` (default) or ``"single"`` — inference paths only."""
+    precision = precision.strip().lower()
+    if precision not in _PRECISIONS:
+        raise ValueError(
+            f"unknown precision {precision!r}; choose from {_PRECISIONS}"
+        )
+    _STATE["precision"] = precision
+
+
+def compute_dtypes() -> Tuple[np.dtype, np.dtype]:
+    """``(float_dtype, complex_dtype)`` of the inference compute policy."""
+    if _STATE["precision"] == "single":
+        return np.dtype(np.float32), np.dtype(np.complex64)
+    return np.dtype(np.float64), np.dtype(np.complex128)
+
+
+def get_stream_chunk() -> int:
+    """Source-axis chunk size for the streamed fused primitive."""
+    return _STATE["chunk"]
+
+
+def set_stream_chunk(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"stream chunk must be >= 1; got {n}")
+    _STATE["chunk"] = int(n)
+
+
+@contextlib.contextmanager
+def use(
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    precision: Optional[str] = None,
+    chunk: Optional[int] = None,
+) -> Iterator[None]:
+    """Temporarily override any subset of the dispatch policy."""
+    saved = dict(_STATE)
+    try:
+        if backend is not None:
+            set_backend(backend)
+        if workers is not None:
+            set_workers(workers)
+        if precision is not None:
+            set_precision(precision)
+        if chunk is not None:
+            set_stream_chunk(chunk)
+        yield
+    finally:
+        _STATE.update(saved)
+
+
+def describe() -> dict:
+    """Snapshot of the live policy (for bench metadata / debugging)."""
+    return {
+        "backend": get_backend(),
+        "workers": get_workers(),
+        "effective_workers": effective_workers(),
+        "precision": get_precision(),
+        "stream_chunk": get_stream_chunk(),
+    }
+
+
+# ----------------------------------------------------------------------
+# transforms (always over the last two axes, numpy "backward" norm)
+# ----------------------------------------------------------------------
+def fft2(x: np.ndarray, overwrite_x: bool = False) -> np.ndarray:
+    """2-D FFT over the last two axes via the selected backend.
+
+    ``overwrite_x`` lets pocketfft reuse ``x`` as scratch (the caller
+    must own ``x``); the numpy backend ignores it.
+    """
+    if _STATE["backend"] == "scipy":
+        return _scipy_fft.fft2(
+            x, workers=effective_workers(), overwrite_x=overwrite_x
+        )
+    return np.fft.fft2(x)
+
+
+def ifft2(x: np.ndarray, overwrite_x: bool = False) -> np.ndarray:
+    """2-D inverse FFT over the last two axes via the selected backend.
+
+    ``overwrite_x`` lets pocketfft reuse ``x`` as scratch (the caller
+    must own ``x``); the numpy backend ignores it.
+    """
+    if _STATE["backend"] == "scipy":
+        return _scipy_fft.ifft2(
+            x, workers=effective_workers(), overwrite_x=overwrite_x
+        )
+    return np.fft.ifft2(x)
+
+
+def fftfreq(n: int, d: float = 1.0) -> np.ndarray:
+    """FFT sample frequencies (identical across backends)."""
+    if _STATE["backend"] == "scipy":
+        return _scipy_fft.fftfreq(n, d=d)
+    return np.fft.fftfreq(n, d=d)
+
+
+def freq_reverse(x: np.ndarray) -> np.ndarray:
+    """Frequency reversal ``x(f) -> x(-f)`` on the last two axes.
+
+    Index map ``i -> (-i) mod n`` in fftfreq layout; used by the
+    conjugate-pair streaming of the fused incoherent-imaging primitive
+    (for a real signal, ``FFT(x)(-f) = conj(FFT(x)(f))``).
+    """
+    return np.roll(x[..., ::-1, ::-1], shift=(1, 1), axis=(-2, -1))

@@ -120,6 +120,12 @@ class HopkinsImaging:
     num_kernels:
         SOCS truncation order Q; ``None`` uses ``config.socs_terms``;
         pass the full support size for a lossless (test) decomposition.
+    fused:
+        When True (default) :meth:`aerial` is one fused
+        :func:`repro.autodiff.functional.incoherent_image` node
+        (streamed forward, hand-written VJP); ``False`` selects the
+        pre-fusion composed-op graph kept as the parity/benchmark
+        reference.
     """
 
     def __init__(
@@ -128,9 +134,11 @@ class HopkinsImaging:
         source: np.ndarray,
         num_kernels: Optional[int] = None,
         source_grid: Optional[SourceGrid] = None,
+        fused: bool = True,
     ):
         config.validate_sampling()
         self.config = config
+        self.fused = bool(fused)
         if source_grid is None:
             from . import cache
 
@@ -150,35 +158,23 @@ class HopkinsImaging:
     def aerial(self, mask: ad.Tensor, source: Optional[ad.Tensor] = None) -> ad.Tensor:
         """Aerial image I = sum_q kappa_q |IFFT(Phi_q * FFT(M))|^2 (Eq. (4)).
 
-        ``mask`` is a single ``(N, N)`` tile or a ``(B, N, N)`` batch
-        (one fused ``(B*Q, N, N)`` FFT stack).  ``source`` must be None:
-        the source is frozen into the TCC at construction.
+        ``mask`` is a single ``(N, N)`` tile or a ``(B, N, N)`` batch;
+        both ride one fused ``incoherent_image`` node (streamed over the
+        kernel axis, hand-written VJP).  ``source`` must be None: the
+        source is frozen into the TCC at construction.
         """
         if source is not None:
             raise ValueError(
                 "HopkinsImaging bakes the source into the TCC; "
                 "rebuild the engine to change it"
             )
-        q = self.num_kernels
-        if mask.ndim == 2:
-            fm = F.fft2(mask)
-            fields = F.ifft2(F.mul(self._kernel_stack, fm))  # (Q, N, N)
-            intensities = F.abs2(fields)
-            kw = F.reshape(self._weight_tensor, (q, 1, 1))
-            return F.sum(F.mul(kw, intensities), axis=0)
-        if mask.ndim != 3:
-            raise ValueError(f"mask must be (N, N) or (B, N, N); got {mask.shape}")
-        b, n = mask.shape[0], mask.shape[-1]
-        fm = F.fft2(mask)  # (B, N, N)
-        spectra = F.mul(
-            F.reshape(self._kernel_stack, (1, q, n, n)),
-            F.reshape(fm, (b, 1, n, n)),
+        if self.fused:
+            return F.incoherent_image(
+                mask, self._kernel_stack, self._weight_tensor
+            )
+        return F.incoherent_image_composed(
+            mask, self._kernel_stack, self._weight_tensor
         )
-        # Fused (B, Q, N, N) stack; the inverse FFT transforms the last
-        # two axes directly, so no flatten/unflatten nodes are needed.
-        intensities = F.abs2(F.ifft2(spectra))
-        kw = F.reshape(self._weight_tensor, (1, q, 1, 1))
-        return F.sum(F.mul(kw, intensities), axis=1)  # (B, N, N)
 
     def aerial_fast(
         self, mask: MaskLike, source: Optional[MaskLike] = None

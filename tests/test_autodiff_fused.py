@@ -1,0 +1,278 @@
+"""Tests for the fused ``incoherent_image`` primitive: finite-difference
+gradcheck against the composed-op reference (real + complex masks, B=1
+and B=3), streamed-VJP parity, argument validation, and the documented
+``create_graph`` fallback (HVPs matching the FFT-free basis oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.autodiff import functional as F
+from repro.autodiff.grad import gradcheck
+from repro.optics import AbbeImaging, OpticalConfig
+from repro.smo import BatchedSMOObjective
+from repro.smo.parametrization import init_theta_mask, init_theta_source
+
+S, N = 6, 12
+
+
+@pytest.fixture(scope="module")
+def kernels() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return (
+        rng.standard_normal((S, N, N)) + 1j * rng.standard_normal((S, N, N))
+    ) * 0.3
+
+
+@pytest.fixture(scope="module")
+def weights() -> np.ndarray:
+    return np.linspace(1.0, 0.2, S)
+
+
+def _masks(batch: bool, complex_: bool) -> np.ndarray:
+    rng = np.random.default_rng(11)
+    shape = (3, N, N) if batch else (N, N)
+    m = rng.standard_normal(shape)
+    if complex_:
+        m = m + 1j * rng.standard_normal(shape)
+    return m
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("batch", [False, True])
+    @pytest.mark.parametrize("complex_", [False, True])
+    def test_fused_matches_composed(self, kernels, weights, batch, complex_):
+        m = _masks(batch, complex_)
+        with ad.no_grad():
+            fused = F.incoherent_image(m, kernels, weights).data
+            composed = F.incoherent_image_composed(m, kernels, weights).data
+        assert fused.shape == m.shape
+        np.testing.assert_allclose(fused, composed, atol=1e-12)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 4, S, S + 5])
+    def test_chunk_size_invariance(self, kernels, weights, chunk):
+        m = _masks(True, False)
+        with ad.no_grad():
+            ref = F.incoherent_image(m, kernels, weights, chunk=S).data
+            out = F.incoherent_image(m, kernels, weights, chunk=chunk).data
+        np.testing.assert_allclose(out, ref, atol=1e-13)
+
+    def test_single_equals_batch_row(self, kernels, weights):
+        m = _masks(True, False)
+        with ad.no_grad():
+            batched = F.incoherent_image(m, kernels, weights).data
+            single = F.incoherent_image(m[1], kernels, weights).data
+        np.testing.assert_allclose(single, batched[1], atol=1e-13)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("batch", [False, True])
+    @pytest.mark.parametrize("complex_", [False, True])
+    def test_grads_match_composed(self, kernels, weights, batch, complex_):
+        """Streamed VJP == composed-op backward for mask and weights."""
+        m = _masks(batch, complex_)
+
+        def eval_grads(fn):
+            mt = ad.Tensor(m, requires_grad=True)
+            wt = ad.Tensor(weights, requires_grad=True)
+            loss = F.sum(F.power(fn(mt, kernels, wt), 2.0))
+            gm, gw = ad.grad(loss, [mt, wt])
+            return float(loss.data), gm.data, gw.data
+
+        lf, gmf, gwf = eval_grads(F.incoherent_image)
+        lc, gmc, gwc = eval_grads(F.incoherent_image_composed)
+        np.testing.assert_allclose(lf, lc, rtol=1e-12)
+        np.testing.assert_allclose(gmf, gmc, atol=1e-10)
+        np.testing.assert_allclose(gwf, gwc, atol=1e-10)
+
+    @pytest.mark.parametrize("batch", [False, True])
+    @pytest.mark.parametrize("complex_", [False, True])
+    def test_fd_gradcheck(self, kernels, weights, batch, complex_):
+        """Central-difference check of the hand-written VJP itself."""
+        m = _masks(batch, complex_)
+        gradcheck(
+            lambda mt, wt: F.sum(
+                F.power(F.incoherent_image(mt, kernels, wt), 2.0)
+            ),
+            [ad.Tensor(m), ad.Tensor(weights)],
+            eps=1e-6,
+            rtol=1e-4,
+            atol=1e-6,
+        )
+
+    def test_mask_only_and_weights_only_paths(self, kernels, weights):
+        """The VJP skips work for inputs that don't require grad."""
+        m = _masks(False, False)
+        mt = ad.Tensor(m, requires_grad=True)
+        (gm,) = ad.grad(F.sum(F.incoherent_image(mt, kernels, weights)), [mt])
+        assert gm.data.shape == m.shape and not np.iscomplexobj(gm.data)
+        wt = ad.Tensor(weights, requires_grad=True)
+        (gw,) = ad.grad(F.sum(F.incoherent_image(m, kernels, wt)), [wt])
+        assert gw.data.shape == weights.shape
+        assert np.abs(gw.data).min() > 0  # every kernel contributes
+
+
+class TestConjugatePairStreaming:
+    """The +/-sigma field-conjugation shortcut for real masks."""
+
+    @pytest.fixture(scope="class")
+    def paired_setup(self):
+        from repro.optics import fftlib
+
+        rng = np.random.default_rng(21)
+        k_reps = rng.standard_normal((3, N, N)) * 0.5  # real kernels
+        kernels = np.empty((5, N, N))
+        kernels[0] = k_reps[0]
+        kernels[1] = fftlib.freq_reverse(k_reps[0])
+        kernels[2] = k_reps[1]
+        kernels[3] = fftlib.freq_reverse(k_reps[1])
+        # Self-paired kernel: symmetric under frequency reversal.
+        kernels[4] = k_reps[2] + fftlib.freq_reverse(k_reps[2])
+        pairs = np.array([1, 0, 3, 2, 4])
+        weights = np.array([0.9, 0.4, 0.7, 0.2, 0.5])
+        return kernels, pairs, weights
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_paired_matches_unpaired(self, paired_setup, batch):
+        kernels, pairs, weights = paired_setup
+        m = _masks(batch, False)
+
+        def grads(**kw):
+            mt = ad.Tensor(m, requires_grad=True)
+            wt = ad.Tensor(weights, requires_grad=True)
+            out = F.incoherent_image(mt, kernels, wt, **kw)
+            loss = F.sum(F.power(out, 2.0))
+            gm, gw = ad.grad(loss, [mt, wt])
+            return out.data, gm.data, gw.data
+
+        o1, gm1, gw1 = grads()
+        o2, gm2, gw2 = grads(conj_pairs=pairs)
+        np.testing.assert_allclose(o2, o1, atol=1e-12)
+        np.testing.assert_allclose(gm2, gm1, atol=1e-10)
+        np.testing.assert_allclose(gw2, gw1, atol=1e-10)
+
+    def test_complex_mask_ignores_pairing(self, paired_setup):
+        """Pairing relies on real fields; complex masks take the exact
+        unpaired stream instead."""
+        kernels, pairs, weights = paired_setup
+        m = _masks(False, True)
+        with ad.no_grad():
+            paired = F.incoherent_image(m, kernels, weights, conj_pairs=pairs)
+            plain = F.incoherent_image_composed(m, kernels, weights)
+        np.testing.assert_allclose(paired.data, plain.data, atol=1e-12)
+
+    def test_invalid_pairing_rejected(self, paired_setup):
+        kernels, _, weights = paired_setup
+        m = _masks(False, False)
+        with pytest.raises(ValueError):  # not an involution
+            F.incoherent_image(
+                m, kernels, weights, conj_pairs=np.array([1, 2, 3, 4, 0])
+            )
+        with pytest.raises(ValueError):  # wrong length
+            F.incoherent_image(m, kernels, weights, conj_pairs=np.arange(4))
+
+    def test_abbe_engine_builds_verified_pairing(self):
+        from repro.optics import AbbeImaging, OpticalConfig
+
+        cfg = OpticalConfig.preset("tiny")
+        engine = AbbeImaging(cfg)
+        pairs = engine._conj_pairs
+        assert pairs is not None
+        s = engine.num_source_points
+        assert np.array_equal(pairs[pairs], np.arange(s))
+        # Defocused stacks are complex: pairing must opt out.
+        assert AbbeImaging(cfg, defocus_nm=80.0)._conj_pairs is None
+
+
+class TestValidation:
+    def test_bad_shapes_raise(self, kernels, weights):
+        with pytest.raises(ValueError):
+            F.incoherent_image(np.zeros(N), kernels, weights)  # 1-D mask
+        with pytest.raises(ValueError):
+            F.incoherent_image(np.zeros((N + 1, N + 1)), kernels, weights)
+        with pytest.raises(ValueError):
+            F.incoherent_image(np.zeros((N, N)), kernels, weights[:-1])
+        with pytest.raises(ValueError):
+            F.incoherent_image(np.zeros((N, N)), kernels[0], weights)
+        with pytest.raises(ValueError):
+            F.incoherent_image(np.zeros((N, N)), kernels, weights, chunk=0)
+
+    def test_complex_weights_rejected(self, kernels, weights):
+        with pytest.raises(TypeError):
+            F.incoherent_image(np.zeros((N, N)), kernels, weights * 1j)
+
+    def test_pupil_grad_rejected(self, kernels, weights):
+        kt = ad.Tensor(kernels, requires_grad=True)
+        with pytest.raises(ValueError):
+            F.incoherent_image(np.zeros((N, N)), kt, weights)
+
+
+class TestCreateGraphFallback:
+    """The documented composed-op fallback for double backward."""
+
+    @pytest.fixture(scope="class")
+    def smo_setup(self):
+        cfg = OpticalConfig.preset("tiny")
+        rng = np.random.default_rng(3)
+        targets = (rng.random((2, cfg.mask_size, cfg.mask_size)) > 0.7).astype(
+            np.float64
+        )
+        source = np.full((cfg.source_size,) * 2, 0.4)
+        theta_j = init_theta_source(source, cfg)
+        theta_m = init_theta_mask(targets, cfg)
+        objective = BatchedSMOObjective(cfg, targets, engine=AbbeImaging(cfg))
+        return cfg, theta_j, theta_m, objective
+
+    def test_hvp_matches_basis_oracle(self, smo_setup):
+        """Source HVPs through the fused graph (create_graph fallback)
+        must equal the FFT-free intensity-basis oracle — the exactness
+        property BiSMO's inner-Hessian products rely on."""
+        _, theta_j, theta_m, objective = smo_setup
+        tm_fixed = ad.Tensor(theta_m)
+        rng = np.random.default_rng(5)
+        v = ad.Tensor(rng.standard_normal(theta_j.shape))
+        x = ad.Tensor(theta_j)
+        h_fused = ad.hvp(lambda tj: objective.loss(tj, tm_fixed), x, v)
+        basis_loss = objective.source_only_loss(theta_m)
+        h_basis = ad.hvp(basis_loss, x, v)
+        scale = np.abs(h_basis.data).max()
+        np.testing.assert_allclose(
+            h_fused.data, h_basis.data, rtol=1e-8, atol=1e-8 * max(scale, 1e-30)
+        )
+
+    def test_mixed_jvp_matches_composed_engine(self, smo_setup):
+        """Mixed second derivatives agree between the fused graph (via
+        its fallback) and a fully composed graph."""
+        cfg, theta_j, theta_m, objective = smo_setup
+        composed = BatchedSMOObjective(
+            cfg, objective.targets.data, engine=AbbeImaging(cfg, fused=False)
+        )
+        rng = np.random.default_rng(6)
+        v = ad.Tensor(rng.standard_normal(theta_j.shape))
+        args = (ad.Tensor(theta_j), ad.Tensor(theta_m), v)
+        mj_fused = ad.mixed_jvp(objective.loss, *args)
+        mj_composed = ad.mixed_jvp(composed.loss, *args)
+        np.testing.assert_allclose(mj_fused.data, mj_composed.data, atol=1e-10)
+
+    def test_unrolled_backward_through_fused_graph(self, smo_setup, kernels, weights):
+        """An inner-SGD step built through the fused node (create_graph)
+        backpropagates correctly — checked against the composed op."""
+        m = _masks(False, False)
+
+        def unrolled(fn):
+            mt = ad.Tensor(m, requires_grad=True)
+            wt = ad.Tensor(weights, requires_grad=True)
+            inner = F.sum(F.power(fn(mt, kernels, wt), 2.0))
+            (gw,) = ad.grad(inner, [wt], create_graph=True)
+            stepped = F.sub(wt, F.mul(gw, 0.05))
+            outer = F.sum(F.power(fn(mt, kernels, stepped), 2.0))
+            (gm,) = ad.grad(outer, [mt])
+            return gm.data
+
+        np.testing.assert_allclose(
+            unrolled(F.incoherent_image),
+            unrolled(F.incoherent_image_composed),
+            atol=1e-10,
+        )
