@@ -1,0 +1,260 @@
+"""Process-window condition axis vs per-corner engine passes.
+
+The perf-regression gate for the robust-SMO tentpole: evaluating the
+robust C-corner loss + gradients through the fused condition axis
+(:class:`repro.smo.ProcessWindowSMOObjective` ->
+``engine.aerial_conditions`` -> one ``incoherent_image_stack`` node
+sharing a single mask-spectrum FFT, with dose corners applied
+post-aerial) must be
+
+* >= ``SPEEDUP_GATE``x faster wall-clock than the *naive per-corner
+  loop* — C independent engine passes, one ``aerial()`` per corner, the
+  pre-condition-axis consumer pattern —
+
+with loss parity to 1e-10 and gradient parity to 1e-8 against both the
+naive loop and the per-focus reference loop
+(``ProcessWindowSMOObjective.loss_reference``).  A C=9 window over
+F=3 focus values does 3 imaging passes instead of 9, so the expected
+speedup is ~C/F; the gate is set below that to absorb resist-model
+overhead shared by both sides.  Results are appended to
+``BENCH_process_window.json`` via :mod:`bench_runner`.
+
+Run as a script (CI parity mode skips the timing gate)::
+
+    PYTHONPATH=src python benchmarks/bench_process_window.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_process_window.py --check  # parity only
+
+or through pytest like the other bench modules::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_process_window.py
+
+Knobs: ``BISMO_PW_SCALE`` (optical preset, default ``small``),
+``BISMO_PW_TILES`` (batch size, default 4), ``BISMO_PW_CHECK_ONLY=1``
+(parity asserts only — for shared CI runners where sub-second timings
+flake).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Dict, Tuple
+
+import numpy as np
+
+import repro.autodiff as ad
+from repro.autodiff import functional as F
+from repro.harness.runner import _annular_source
+from repro.layouts import dataset_by_name, tile_stack
+from repro.optics import OpticalConfig, ProcessWindow, engine_for, fftlib
+from repro.smo import ProcessWindowSMOObjective, dose_resist
+from repro.smo.objective import robust_corner_loss
+from repro.smo.parametrization import (
+    init_theta_mask,
+    init_theta_source,
+    mask_from_theta,
+    source_from_theta,
+)
+
+SCALE = os.environ.get("BISMO_PW_SCALE", "small")
+NUM_TILES = int(os.environ.get("BISMO_PW_TILES", "4"))
+CHECK_ONLY = os.environ.get("BISMO_PW_CHECK_ONLY", "0") == "1"
+
+DOSES = (0.96, 1.0, 1.04)
+FOCUS = (0.0, 40.0, 80.0)
+
+SPEEDUP_GATE = 1.8
+LOSS_RTOL = 1e-10
+GRAD_RTOL = 1e-8
+
+
+def _setup(scale: str = SCALE, num_tiles: int = NUM_TILES):
+    from conftest import rescale_clips
+
+    cfg = OpticalConfig.preset(scale)
+    window = ProcessWindow.from_grid(DOSES, FOCUS)
+    ds = rescale_clips(dataset_by_name("ICCAD13", num_clips=num_tiles), cfg)
+    targets = tile_stack(ds, cfg)
+    source = _annular_source(cfg)
+    theta_j = init_theta_source(source, cfg)
+    theta_m = init_theta_mask(targets, cfg)
+    objective = ProcessWindowSMOObjective(cfg, targets, window)
+    return cfg, window, targets, theta_j, theta_m, objective
+
+
+def _grads(loss_fn, theta_j, theta_m) -> Tuple[float, np.ndarray, np.ndarray]:
+    tj = ad.Tensor(theta_j, requires_grad=True)
+    tm = ad.Tensor(theta_m, requires_grad=True)
+    loss = loss_fn(tj, tm)
+    gj, gm = ad.grad(loss, [tj, tm])
+    return float(loss.data), gj.data, gm.data
+
+
+def _naive_corner_loss_fn(cfg, window, targets):
+    """C independent engine passes — one ``aerial()`` per corner.
+
+    The pre-condition-axis consumer pattern: every corner re-images the
+    mask from scratch (its own mask FFT, its own streamed kernel pass),
+    even when corners share a focus value.
+    """
+    targets_t = ad.Tensor(targets)
+
+    def loss_fn(tj: ad.Tensor, tm: ad.Tensor) -> ad.Tensor:
+        source = source_from_theta(tj, cfg)
+        mask = mask_from_theta(tm, cfg)
+        losses = []
+        for corner in window.corners:
+            engine = engine_for(cfg, "abbe", defocus_nm=corner.defocus_nm)
+            aerial = engine.aerial(mask, source)  # full pass per corner
+            z = dose_resist(aerial, cfg, corner.dose)
+            losses.append(F.sum(F.power(F.sub(z, targets_t), 2.0)))
+        return robust_corner_loss(losses, window)
+
+    return loss_fn
+
+
+def run_parity(setup=None) -> Dict[str, float]:
+    """Fused == naive per-corner loop == per-focus reference loop."""
+    cfg, window, targets, theta_j, theta_m, objective = setup or _setup()
+    lf, gjf, gmf = _grads(objective.loss, theta_j, theta_m)
+    ln, gjn, gmn = _grads(
+        _naive_corner_loss_fn(cfg, window, targets), theta_j, theta_m
+    )
+    lr_, gjr, gmr = _grads(objective.loss_reference, theta_j, theta_m)
+    np.testing.assert_allclose(lf, ln, rtol=LOSS_RTOL)
+    np.testing.assert_allclose(lf, lr_, rtol=LOSS_RTOL)
+    np.testing.assert_allclose(gjf, gjn, rtol=GRAD_RTOL, atol=1e-12)
+    np.testing.assert_allclose(gmf, gmn, rtol=GRAD_RTOL, atol=1e-12)
+    np.testing.assert_allclose(gjf, gjr, rtol=GRAD_RTOL, atol=1e-12)
+    np.testing.assert_allclose(gmf, gmr, rtol=GRAD_RTOL, atol=1e-12)
+    return {
+        "loss": lf,
+        "naive_loss_reldiff": abs(lf - ln) / abs(ln),
+        "grad_j_maxdiff": float(np.abs(gjf - gjn).max()),
+        "grad_m_maxdiff": float(np.abs(gmf - gmn).max()),
+    }
+
+
+def run_perf(setup=None, rounds: int = 5) -> Dict[str, float]:
+    """Best-of-``rounds`` wall-clock for fused / per-focus / per-corner."""
+    cfg, window, targets, theta_j, theta_m, objective = setup or _setup()
+    naive = _naive_corner_loss_fn(cfg, window, targets)
+
+    def best_of(loss_fn) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            _grads(loss_fn, theta_j, theta_m)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_fused = best_of(objective.loss)
+    t_focus = best_of(objective.loss_reference)
+    t_naive = best_of(naive)
+    return {
+        "corners": window.num_corners,
+        "focus_values": len(window.focus_values()),
+        "fused_ms": t_fused * 1e3,
+        "per_focus_ms": t_focus * 1e3,
+        "per_corner_ms": t_naive * 1e3,
+        "speedup_vs_per_corner": t_naive / t_fused,
+        "speedup_vs_per_focus": t_focus / t_fused,
+    }
+
+
+def _record(payload: Dict) -> None:
+    try:
+        from bench_runner import record_bench
+    except ImportError:  # script run without benchmarks/ on sys.path
+        import sys
+
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from bench_runner import record_bench
+
+    path = record_bench("process_window", payload)
+    print(f"recorded -> {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="parity mode: run the numerical asserts, skip the timing "
+        "gate (still records measurements)",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--scale", default=SCALE, help="optical preset (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--tiles", type=int, default=NUM_TILES, help="batch size B"
+    )
+    args = parser.parse_args(argv)
+
+    setup = _setup(args.scale, args.tiles)
+    payload: Dict = {
+        "scale": args.scale,
+        "tiles": args.tiles,
+        "doses": list(DOSES),
+        "focus_nm": list(FOCUS),
+        "check_only": bool(args.check),
+        "fftlib": fftlib.describe(),
+    }
+    payload["parity"] = run_parity(setup)
+    print(
+        f"parity ok: robust {len(DOSES) * len(FOCUS)}-corner loss matches "
+        f"the per-corner loop to {LOSS_RTOL:g}, grads to {GRAD_RTOL:g}"
+    )
+    perf = run_perf(setup, rounds=args.rounds)
+    payload["perf"] = perf
+    print(
+        f"B={args.tiles} {args.scale}, C={perf['corners']} corners / "
+        f"F={perf['focus_values']} focus: fused {perf['fused_ms']:.1f} ms vs "
+        f"per-focus {perf['per_focus_ms']:.1f} ms vs per-corner "
+        f"{perf['per_corner_ms']:.1f} ms "
+        f"({perf['speedup_vs_per_corner']:.2f}x over per-corner)"
+    )
+    _record(payload)
+    if not args.check:
+        assert perf["speedup_vs_per_corner"] >= SPEEDUP_GATE, (
+            f"condition axis only {perf['speedup_vs_per_corner']:.2f}x over "
+            f"the per-corner loop (gate: {SPEEDUP_GATE}x)"
+        )
+        print(f"gate passed: >= {SPEEDUP_GATE}x over per-corner passes")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (same checks, bench-suite conventions)
+# ----------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode needs no pytest
+    pytest = None
+else:
+
+    @pytest.fixture(scope="module")
+    def shared_setup():
+        return _setup()
+
+
+def test_process_window_parity(shared_setup):
+    run_parity(shared_setup)
+
+
+def test_process_window_speedup(shared_setup):
+    if CHECK_ONLY:
+        pytest.skip("BISMO_PW_CHECK_ONLY=1: parity-only mode, gate skipped")
+    perf = run_perf(shared_setup)
+    print(
+        f"\nprocess window: B={NUM_TILES} {SCALE} C={perf['corners']} "
+        f"F={perf['focus_values']} "
+        f"speedup={perf['speedup_vs_per_corner']:.2f}x"
+    )
+    assert perf["speedup_vs_per_corner"] >= SPEEDUP_GATE
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,66 +1,81 @@
-"""Process-window study + mask manufacturability report.
+"""Process-window study: robust SMO vs nominal MO across dose x focus.
 
-Extensions beyond the paper's tables: after optimizing a mask with
-Abbe-MO, sweep dose *and* focus corners to map the process window
-(the paper's PVB uses dose only), report NILS/contrast diagnostics, and
-run the mask-prep style manufacturability analysis (SRAF count, shots,
-minimum feature).
+Uses the first-class condition axis (PR 4): build a
+:class:`repro.optics.ProcessWindow`, optimize one mask *robustly across
+the whole window* (``process_window=`` on any solver), then judge both
+the nominal and the robust mask at every corner with the harness
+process-window report — per-corner L2/EPE matrix plus the window-wide
+variation band.  Ends with the mask-prep manufacturability analysis.
 
-Run:  python examples/process_window_study.py
+Run:  PYTHONPATH=src python examples/process_window_study.py
 """
 
 import numpy as np
 
 from repro.geometry import GridSpec, rasterize
+from repro.harness import (
+    RunSettings,
+    evaluate_process_window,
+    process_window_table,
+    render_table,
+)
 from repro.layouts import iccad13
 from repro.mask import mask_statistics, remove_small_features
-from repro.metrics import image_contrast, l2_error_nm2, nils_at_edges
+from repro.metrics import image_contrast, nils_at_edges
 from repro.optics import (
     AbbeImaging,
     OpticalConfig,
+    ProcessWindow,
     SourceGrid,
     annular,
     binarize,
 )
-from repro.smo import AbbeMO, AbbeSMOObjective
-from repro.smo.objective import dose_resist
+from repro.smo import AbbeMO
 import repro.autodiff as ad
 
 
 def main() -> None:
     config = OpticalConfig.preset("small")
+    window = ProcessWindow.from_grid(
+        doses=(0.96, 1.0, 1.04), focus_nm=(0.0, 60.0, 120.0)
+    )
     clip = iccad13(num_clips=1)[0]
     grid = GridSpec(config.mask_size, config.pixel_nm)
     target = binarize(rasterize(clip.rects, grid))
     source = annular(
         SourceGrid.from_config(config), config.sigma_out, config.sigma_in
     )
-    objective = AbbeSMOObjective(config, target)
 
-    result = AbbeMO(config, target, source, objective=objective).run(iterations=40)
-    mask = binarize(1.0 / (1.0 + np.exp(-config.alpha_m * result.theta_m)))
+    # ---- nominal MO vs robust MO across the window --------------------
+    nominal = AbbeMO(config, target, source).run(iterations=40)
+    robust = AbbeMO(
+        config, target, source, process_window=window
+    ).run(iterations=40)
 
-    # ---- dose x focus process-window map ------------------------------
-    print("L2 error (nm^2) over the dose x focus grid:")
-    doses = (0.96, 1.00, 1.04)
-    foci = (0.0, 60.0, 120.0)
-    header = "dose/focus"
-    print(f"{header:>10s} " + " ".join(f"{f:>9.0f}nm" for f in foci))
-    src_t = ad.Tensor(source)
-    mask_t = ad.Tensor(mask)
-    for dose in doses:
-        row = []
-        for focus in foci:
-            engine = AbbeImaging(config, defocus_nm=focus)
-            with ad.no_grad():
-                aerial = engine.aerial(mask_t, src_t)
-                z = dose_resist(aerial, config, dose).data
-            row.append(l2_error_nm2(z, target, config))
-        print(f"{dose:>10.2f} " + " ".join(f"{v:>11,.0f}" for v in row))
+    settings = RunSettings(config=config, iterations=40, process_window=window)
+    records = []
+    for result in (nominal, robust):
+        rec = evaluate_process_window(
+            result, clip, settings, source_fallback=source
+        )
+        rec.method = "Abbe-MO" if result is nominal else "Abbe-MO(robust)"
+        records.append(rec)
 
-    # ---- image-quality diagnostics ------------------------------------
+    print(render_table(process_window_table(records, value="l2")))
+    print()
+    print(render_table(process_window_table(records, value="epe")))
+    band_nom, band_rob = records[0].band_nm2, records[1].band_nm2
+    print(
+        f"\nvariation band across all {window.num_corners} corners: "
+        f"nominal {band_nom:,.0f} nm^2 vs robust {band_rob:,.0f} nm^2"
+    )
+
+    # ---- image-quality diagnostics for the robust mask ----------------
+    mask = binarize(1.0 / (1.0 + np.exp(-config.alpha_m * robust.theta_m)))
     with ad.no_grad():
-        aerial = AbbeImaging(config).aerial(mask_t, src_t).data
+        aerial = AbbeImaging(config).aerial(
+            ad.Tensor(mask), ad.Tensor(source)
+        ).data
     nils = nils_at_edges(aerial, clip.rects, config)
     roi = rasterize([r.expanded(60) for r in clip.rects], grid) > 0
     print(f"\nNILS at target edges: mean {nils.mean():.2f}, min {nils.min():.2f}")

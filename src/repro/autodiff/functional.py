@@ -56,6 +56,7 @@ __all__ = [
     "fft2",
     "ifft2",
     "incoherent_image",
+    "incoherent_image_stack",
     "incoherent_image_composed",
     "getitem",
     "scatter",
@@ -539,6 +540,134 @@ def _conj_pair_reps(conj_pairs, s: int) -> np.ndarray:
     return np.nonzero(cp >= np.arange(s))[0]
 
 
+def _pair_setup(conj_pairs, s: int, real_path: bool):
+    """Validate a pairing and decide whether the streamed loops may use it.
+
+    The involution is always validated when a pairing is supplied; it is
+    *used* only on the all-real path (``real_path``) where the conjugate
+    field identity ``F_{-sigma} = conj(F_{+sigma})`` holds.  Returns
+    ``(cp, reps)`` or ``(None, None)``.
+    """
+    if conj_pairs is None:
+        return None, None
+    reps_all = _conj_pair_reps(conj_pairs, s)
+    if not real_path:
+        return None, None
+    return np.asarray(conj_pairs), reps_all
+
+
+def _stream_forward_one(
+    fm: np.ndarray,
+    kern: np.ndarray,
+    w: np.ndarray,
+    csize: int,
+    cp: Optional[np.ndarray],
+    reps: Optional[np.ndarray],
+) -> np.ndarray:
+    """Streamed weighted incoherent sum for ONE kernel stack.
+
+    ``fm`` is the precomputed ``(B, N, N)`` mask spectrum — sharing it
+    across kernel stacks is what lets the multi-condition primitive
+    reuse one mask FFT for every process corner.
+    """
+    fl = _get_fftlib()
+    b, n = fm.shape[0], fm.shape[-1]
+    if reps is None:
+        kern_r, w_eff, r = kern, w, kern.shape[0]
+    else:
+        kern_r = kern[reps]  # (R, N, N) representatives, R ~ S/2
+        mates = cp[reps]
+        w_eff = w[reps] + np.where(mates != reps, w[mates], 0.0)
+        r = reps.size
+    nn = n * n
+    out = np.zeros((b, n, n), dtype=np.float64)
+    for lo in range(0, r, csize):
+        hi = min(r, lo + csize)
+        # One (B, C, N, N) transform block per chunk: big enough to
+        # amortize dispatch, small enough to stay transient.
+        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
+        intens = np.square(fields.real)
+        intens += np.square(fields.imag)
+        out += (w_eff[lo:hi] @ intens.reshape(b, hi - lo, nn)).reshape(b, n, n)
+    return out
+
+
+def _stream_backward_one(
+    gd: np.ndarray,
+    fm: np.ndarray,
+    kern: np.ndarray,
+    w: np.ndarray,
+    csize: int,
+    cp: Optional[np.ndarray],
+    reps: Optional[np.ndarray],
+    need_mask: bool,
+    gw: Optional[np.ndarray],
+) -> Optional[np.ndarray]:
+    """One stack's streamed gradient contributions (graph-free).
+
+    Recomputes the per-chunk coherent fields from ``fm`` and returns the
+    *frequency-domain* mask-gradient accumulator (the caller applies the
+    final IFFT once, summed over stacks), adding weight-gradient
+    contributions into ``gw`` in place when it is not None.
+    """
+    fl = _get_fftlib()
+    s, n = kern.shape[0], kern.shape[-1]
+    b = fm.shape[0]
+    nn = n * n
+    need_w = gw is not None
+    # Conjugate pairing additionally needs a real upstream gradient
+    # (the mirrored-term identity conjugates g); fall back otherwise.
+    use_pairs = reps is not None and not np.iscomplexobj(gd)
+    if use_pairs:
+        kern_r = kern[reps]
+        mates = cp[reps]
+        is_pair = mates != reps
+        w_direct, w_mirror = w[reps], np.where(is_pair, w[mates], 0.0)
+        r = reps.size
+    else:
+        kern_r, r = kern, s
+    acc = acc_mirror = None
+    if need_mask:
+        gd2 = 2.0 * gd  # (B, N, N)
+        acc = np.zeros((b, n, n), dtype=np.complex128)
+        # The w_s factor commutes with the FFT, so it folds into the
+        # per-chunk conj-kernel contraction (one pass fewer per block).
+        if use_pairs:
+            wkc = w_direct[:, None, None] * kern_r  # real kernels
+            wkc_mirror = w_mirror[:, None, None] * kern_r
+            acc_mirror = np.zeros((b, n, n), dtype=np.complex128)
+        else:
+            wkc = w[:, None, None] * np.conj(kern)
+    for lo in range(0, r, csize):
+        hi = min(r, lo + csize)
+        # Recomputed (B, C, N, N) block, never retained.
+        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
+        if need_w:
+            intens = np.square(fields.real)
+            intens += np.square(fields.imag)
+            val = (intens.reshape(b, hi - lo, nn) @ gd.reshape(b, nn, 1))[
+                :, :, 0
+            ].sum(axis=0)
+            if use_pairs:
+                # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
+                gw[reps[lo:hi]] += val
+                pc = is_pair[lo:hi]
+                gw[mates[lo:hi][pc]] += val[pc]
+            else:
+                gw[lo:hi] += val
+        if need_mask:
+            fields *= gd2[:, None]  # in-place: no second block temp
+            t = fl.fft2(fields, overwrite_x=True)
+            acc += np.einsum("cij,bcij->bij", wkc[lo:hi], t)
+            if use_pairs:
+                acc_mirror += np.einsum("cij,bcij->bij", wkc_mirror[lo:hi], t)
+    if need_mask and use_pairs:
+        # Mate term: conj(H_s')*FFT(2 w g conj(F_s)) == the direct
+        # term conjugated and frequency-reversed (one pass total).
+        acc += np.conj(fl.freq_reverse(acc_mirror))
+    return acc
+
+
 def incoherent_image(
     mask: ArrayLike,
     pupil_stack: ArrayLike,
@@ -597,34 +726,13 @@ def incoherent_image(
     csize = fl.get_stream_chunk() if chunk is None else int(chunk)
     if csize < 1:
         raise ValueError(f"chunk must be >= 1; got {csize}")
-    cp = reps = None
-    if conj_pairs is not None:
-        reps_all = _conj_pair_reps(conj_pairs, s)
-        if not mask.is_complex and not pupil_stack.is_complex:
-            cp, reps = np.asarray(conj_pairs), reps_all
+    cp, reps = _pair_setup(
+        conj_pairs, s, not mask.is_complex and not pupil_stack.is_complex
+    )
     single = mask.ndim == 2
     tiles = mask.data[None] if single else mask.data
-    b = tiles.shape[0]
-    kern = pupil_stack.data
-    w = weights.data
     fm = fl.fft2(tiles)  # (B, N, N) spectra — the only saved activation
-    nn = n * n
-    if reps is None:
-        kern_r, w_eff, r = kern, w, s
-    else:
-        kern_r = kern[reps]  # (R, N, N) representatives, R ~ S/2
-        mates = cp[reps]
-        w_eff = w[reps] + np.where(mates != reps, w[mates], 0.0)
-        r = reps.size
-    out = np.zeros((b, n, n), dtype=np.float64)
-    for lo in range(0, r, csize):
-        hi = min(r, lo + csize)
-        # One (B, C, N, N) transform block per chunk: big enough to
-        # amortize dispatch, small enough to stay transient.
-        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
-        intens = np.square(fields.real)
-        intens += np.square(fields.imag)
-        out += (w_eff[lo:hi] @ intens.reshape(b, hi - lo, nn)).reshape(b, n, n)
+    out = _stream_forward_one(fm, pupil_stack.data, weights.data, csize, cp, reps)
     out_data = out[0] if single else out
 
     def vjp(g: Tensor):
@@ -654,75 +762,23 @@ def _incoherent_vjp_streamed(
 ):
     """Graph-free streamed gradients (first-order backward hot path)."""
     fl = _get_fftlib()
-    s, n = pupil_stack.shape[0], pupil_stack.shape[-1]
+    s = pupil_stack.shape[0]
     single = mask.ndim == 2
-    b = fm.shape[0]
     gd = g.data[None] if single else g.data
-    kern = pupil_stack.data
-    w = weights.data
     need_mask = mask.requires_grad
-    need_w = weights.requires_grad
-    nn = n * n
-    # Conjugate pairing additionally needs a real upstream gradient
-    # (the mirrored-term identity conjugates g); fall back otherwise.
-    use_pairs = reps is not None and not np.iscomplexobj(gd)
-    if use_pairs:
-        kern_r = kern[reps]
-        mates = cp[reps]
-        is_pair = mates != reps
-        w_direct, w_mirror = w[reps], np.where(is_pair, w[mates], 0.0)
-        r = reps.size
-    else:
-        kern_r, r = kern, s
     gw = (
         np.zeros(s, dtype=np.complex128 if np.iscomplexobj(gd) else np.float64)
-        if need_w
+        if weights.requires_grad
         else None
     )
-    acc = acc_mirror = None
-    if need_mask:
-        gd2 = 2.0 * gd  # (B, N, N)
-        acc = np.zeros((b, n, n), dtype=np.complex128)
-        # The w_s factor commutes with the FFT, so it folds into the
-        # per-chunk conj-kernel contraction (one pass fewer per block).
-        if use_pairs:
-            wkc = w_direct[:, None, None] * kern_r  # real kernels
-            wkc_mirror = w_mirror[:, None, None] * kern_r
-            acc_mirror = np.zeros((b, n, n), dtype=np.complex128)
-        else:
-            wkc = w[:, None, None] * np.conj(kern)
-    for lo in range(0, r, csize):
-        hi = min(r, lo + csize)
-        # Recomputed (B, C, N, N) block, never retained.
-        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
-        if need_w:
-            intens = np.square(fields.real)
-            intens += np.square(fields.imag)
-            val = (intens.reshape(b, hi - lo, nn) @ gd.reshape(b, nn, 1))[
-                :, :, 0
-            ].sum(axis=0)
-            if use_pairs:
-                # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
-                gw[reps[lo:hi]] += val
-                pc = is_pair[lo:hi]
-                gw[mates[lo:hi][pc]] += val[pc]
-            else:
-                gw[lo:hi] += val
-        if need_mask:
-            fields *= gd2[:, None]  # in-place: no second block temp
-            t = fl.fft2(fields, overwrite_x=True)
-            acc += np.einsum("cij,bcij->bij", wkc[lo:hi], t)
-            if use_pairs:
-                acc_mirror += np.einsum("cij,bcij->bij", wkc_mirror[lo:hi], t)
+    acc = _stream_backward_one(
+        gd, fm, pupil_stack.data, weights.data, csize, cp, reps, need_mask, gw
+    )
     gm_out = None
     if need_mask:
-        if use_pairs:
-            # Mate term: conj(H_s')*FFT(2 w g conj(F_s)) == the direct
-            # term conjugated and frequency-reversed (one pass total).
-            acc += np.conj(fl.freq_reverse(acc_mirror))
         gm = fl.ifft2(acc, overwrite_x=True)
         gm_out = Tensor(gm[0] if single else gm)
-    return (gm_out, None, Tensor(gw) if need_w else None)
+    return (gm_out, None, Tensor(gw) if gw is not None else None)
 
 
 def _incoherent_vjp_composed(
@@ -752,6 +808,151 @@ def _incoherent_vjp_composed(
         gm = ifft2(sum(mul(fft2(gfields), conj(p4)), axis=1))
         gm_out = reshape(gm, (n, n)) if single else gm
     return (gm_out, None, gw_out)
+
+
+def incoherent_image_stack(
+    mask: ArrayLike,
+    pupil_stacks: Sequence[ArrayLike],
+    weights: ArrayLike,
+    chunk: Optional[int] = None,
+    conj_pairs: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> Tensor:
+    """Multi-condition fused incoherent imaging sharing ONE mask FFT.
+
+    Computes ``out[f] = sum_s w_s |IFFT2(H^f_s FFT2(M))|^2`` for a
+    *sequence* of F kernel stacks — the process-condition axis: each
+    stack is the shifted-pupil (or SOCS kernel) stack at one focus
+    condition, all sharing the same ``(S,)`` weights.  Output shape is
+    ``(F, B, N, N)`` for a batched mask, ``(F, N, N)`` for a single
+    tile.
+
+    The mask spectrum ``FFT2(M)`` is computed once and streamed through
+    every stack (and, in the hand-written VJP, every stack's recomputed
+    chunks accumulate into one frequency-domain mask gradient closed by
+    a single final IFFT) — evaluating F conditions costs F streamed
+    kernel passes plus *one* mask transform, not F independent
+    :func:`incoherent_image` calls.
+
+    ``conj_pairs`` is an optional per-stack sequence: real stacks (zero
+    defocus) may carry the ``+/-sigma`` frequency-reversal pairing and
+    get the half-FFT streaming; complex (defocused) stacks pass None —
+    the conjugate *field* identity needs real kernels even though the
+    structural pairing survives defocus (the defocus phase is even).
+    Under ``ad.grad(create_graph=True)`` the VJP falls back to
+    composed-op gradient expressions (sharing one ``fft2(mask)`` graph
+    node across stacks), so second-order products through the condition
+    axis stay exactly differentiable.
+    """
+    mask = as_tensor(mask)
+    weights = as_tensor(weights)
+    stacks = tuple(as_tensor(p) for p in pupil_stacks)
+    if not stacks:
+        raise ValueError("incoherent_image_stack needs at least one stack")
+    for st in stacks:
+        s, n = _check_incoherent_args(mask, st, weights)
+    if conj_pairs is None:
+        conj_pairs = (None,) * len(stacks)
+    elif len(conj_pairs) != len(stacks):
+        raise ValueError(
+            f"conj_pairs must have one entry per stack "
+            f"({len(stacks)}); got {len(conj_pairs)}"
+        )
+    fl = _get_fftlib()
+    csize = fl.get_stream_chunk() if chunk is None else int(chunk)
+    if csize < 1:
+        raise ValueError(f"chunk must be >= 1; got {csize}")
+    pair_info = tuple(
+        _pair_setup(cp_f, s, not mask.is_complex and not st.is_complex)
+        for st, cp_f in zip(stacks, conj_pairs)
+    )
+    single = mask.ndim == 2
+    tiles = mask.data[None] if single else mask.data
+    b = tiles.shape[0]
+    fm = fl.fft2(tiles)  # ONE (B, N, N) spectrum for every condition
+    w = weights.data
+    out = np.empty((len(stacks), b, n, n), dtype=np.float64)
+    for fi, (st, (cp_f, reps_f)) in enumerate(zip(stacks, pair_info)):
+        out[fi] = _stream_forward_one(fm, st.data, w, csize, cp_f, reps_f)
+    out_data = out[:, 0] if single else out
+
+    def vjp(g: Tensor):
+        if is_grad_enabled():
+            return _incoherent_stack_vjp_composed(g, mask, stacks, weights)
+        return _incoherent_stack_vjp_streamed(
+            g, mask, stacks, weights, fm, csize, pair_info
+        )
+
+    return _make(
+        out_data, (mask,) + stacks + (weights,), vjp, "incoherent_image_stack"
+    )
+
+
+def _incoherent_stack_vjp_streamed(
+    g: Tensor,
+    mask: Tensor,
+    stacks: Tuple[Tensor, ...],
+    weights: Tensor,
+    fm: np.ndarray,
+    csize: int,
+    pair_info: Tuple,
+):
+    """Graph-free streamed gradients summed over the condition axis."""
+    fl = _get_fftlib()
+    s = stacks[0].shape[0]
+    single = mask.ndim == 2
+    gd = g.data[:, None] if single else g.data  # (F, B, N, N)
+    need_mask = mask.requires_grad
+    gw = (
+        np.zeros(s, dtype=np.complex128 if np.iscomplexobj(gd) else np.float64)
+        if weights.requires_grad
+        else None
+    )
+    acc_total = np.zeros(fm.shape, dtype=np.complex128) if need_mask else None
+    for fi, (st, (cp_f, reps_f)) in enumerate(zip(stacks, pair_info)):
+        acc = _stream_backward_one(
+            gd[fi], fm, st.data, weights.data, csize, cp_f, reps_f, need_mask, gw
+        )
+        if need_mask:
+            acc_total += acc
+    gm_out = None
+    if need_mask:
+        gm = fl.ifft2(acc_total, overwrite_x=True)
+        gm_out = Tensor(gm[0] if single else gm)
+    return (gm_out,) + (None,) * len(stacks) + (
+        Tensor(gw) if gw is not None else None,
+    )
+
+
+def _incoherent_stack_vjp_composed(
+    g: Tensor, mask: Tensor, stacks: Tuple[Tensor, ...], weights: Tensor
+):
+    """Differentiable gradients for the stack primitive (create_graph).
+
+    Same strategy as :func:`_incoherent_vjp_composed`, applied per
+    condition with ONE shared ``fft2(mask)`` graph node, accumulating
+    mask/weight gradients across stacks with differentiable adds.
+    """
+    s, n = stacks[0].shape[0], stacks[0].shape[-1]
+    single = mask.ndim == 2
+    m3 = reshape(mask, (1, n, n)) if single else mask
+    b = m3.shape[0]
+    fmr = reshape(fft2(m3), (b, 1, n, n))  # shared spectrum node
+    gm_out = gw_out = None
+    for fi, st in enumerate(stacks):
+        gf = getitem(g, fi)  # (B, N, N) or (N, N)
+        g4 = reshape(gf, (1, 1, n, n)) if single else reshape(gf, (b, 1, n, n))
+        p4 = reshape(st, (1, s, n, n))
+        fields = ifft2(mul(p4, fmr))  # (B, S, N, N)
+        if weights.requires_grad:
+            gw_f = sum(mul(g4, abs2(fields)), axis=(0, 2, 3))
+            gw_out = gw_f if gw_out is None else add(gw_out, gw_f)
+        if mask.requires_grad:
+            wf = reshape(weights, (1, s, 1, 1))
+            gfields = mul(mul(g4, 2.0), mul(wf, fields))
+            gm = ifft2(sum(mul(fft2(gfields), conj(p4)), axis=1))
+            gm_f = reshape(gm, (n, n)) if single else gm
+            gm_out = gm_f if gm_out is None else add(gm_out, gm_f)
+    return (gm_out,) + (None,) * len(stacks) + (gw_out,)
 
 
 # ----------------------------------------------------------------------

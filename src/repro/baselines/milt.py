@@ -19,7 +19,7 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
-from ..optics import OpticalConfig
+from ..optics import OpticalConfig, ProcessWindow
 from ..smo.objective import HopkinsMOObjective
 from ..smo.parametrization import init_theta_mask
 from ..smo.state import IterationRecord, SMOResult
@@ -34,6 +34,12 @@ class MultiLevelILT:
     a stack runs every level on the whole batch at once (one fused
     ``incoherent_image`` node over the SOCS kernels per step) and
     records per-tile losses.
+
+    ``process_window`` replaces the dose-only Eq. (9) loss with the
+    robust dose x focus reduction at *every* level (focus corners are
+    exact phase multiplies of each level's SOCS kernels — see
+    :class:`repro.optics.HopkinsImaging`); ``robust`` / ``robust_tau``
+    pick weighted-sum or smooth worst-case.
     """
 
     method_name = "DAC23-MILT"
@@ -47,6 +53,9 @@ class MultiLevelILT:
         lr: float = 0.1,
         optimizer: str = "adam",
         num_kernels: Optional[int] = None,
+        process_window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
         self.config = config
         self.target = np.asarray(target, dtype=np.float64)
@@ -54,6 +63,9 @@ class MultiLevelILT:
         self.optimizer = optimizer
         self.lr = lr
         self.num_kernels = num_kernels
+        self.process_window = process_window
+        self.robust = robust
+        self.robust_tau = robust_tau
         self.level_configs = self._valid_levels(config, levels)
 
     @staticmethod
@@ -105,7 +117,15 @@ class MultiLevelILT:
             # The per-level engine resolves through the optics cache, so a
             # harness sweep re-running MILT on many clips decomposes each
             # level's TCC once instead of once per clip.
-            objective = HopkinsMOObjective(cfg, tgt, self.source, self.num_kernels)
+            objective = HopkinsMOObjective(
+                cfg,
+                tgt,
+                self.source,
+                self.num_kernels,
+                window=self.process_window,
+                robust=self.robust,
+                robust_tau=self.robust_tau,
+            )
             opt = make_optimizer(self.optimizer, self.lr)
             iters = per_level if li < n_levels - 1 else iterations - per_level * (n_levels - 1)
             for _ in range(iters):

@@ -20,8 +20,12 @@ import numpy as np
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from ..opt import make_optimizer
-from ..optics import OpticalConfig, engine_for
-from ..smo.objective import dose_resist
+from ..optics import OpticalConfig, ProcessWindow, engine_for
+from ..smo.objective import (
+    dose_resist,
+    robust_tile_losses,
+    windowed_corner_loss,
+)
 from ..smo.parametrization import init_theta_mask, mask_from_theta
 from ..smo.state import IterationRecord, SMOResult
 
@@ -35,6 +39,12 @@ class NILTBaseline:
     a stack optimizes the whole mask batch jointly through the engine's
     fused multi-tile forward — one ``incoherent_image`` node over the
     SOCS kernel stack per step — with per-tile losses in every record.
+
+    ``process_window`` turns the objective into *robust printability*:
+    the same per-corner L2 terms reduced across the dose x focus grid
+    (corner weights are absolute — no extra ``gamma`` factor).  It
+    remains structurally NILT: no PVB term, just printability evaluated
+    at every corner instead of the nominal condition alone.
     """
 
     method_name = "NILT"
@@ -47,6 +57,9 @@ class NILTBaseline:
         lr: float = 0.1,
         optimizer: str = "adam",
         num_kernels: Optional[int] = None,
+        process_window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
         self.config = config
         self.target = ad.Tensor(np.asarray(target, dtype=np.float64))
@@ -55,10 +68,28 @@ class NILTBaseline:
         # one (config, source) pair decompose the TCC exactly once.
         self.engine = engine_for(config, "hopkins", source=source, num_kernels=num_kernels)
         self._opt = make_optimizer(optimizer, lr)
+        self.window = process_window
+        self.robust = robust
+        self.robust_tau = float(robust_tau)
         self._last_tile_losses: Optional[np.ndarray] = None
 
     def _loss(self, theta_m: ad.Tensor) -> ad.Tensor:
         mask = mask_from_theta(theta_m, self.config)
+        if self.window is not None:
+            total, matrix = windowed_corner_loss(
+                self.engine,
+                self.config,
+                mask,
+                self.target,
+                self.window,
+                self.robust,
+                self.robust_tau,
+            )
+            if self.target.ndim == 3:
+                self._last_tile_losses = robust_tile_losses(
+                    matrix, self.window, self.robust, self.robust_tau
+                )
+            return total
         aerial = self.engine.aerial(mask)
         z = dose_resist(aerial, self.config, 1.0)
         if self.target.ndim == 3:  # any stack, including B=1

@@ -11,6 +11,12 @@ from .runner import (
     run_joint,
     run_matrix,
 )
+from .process_window import (
+    ProcessWindowRecord,
+    evaluate_process_window,
+    process_window_table,
+    run_process_window,
+)
 from .tables import TableData, table3, table4
 from .figures import FIGURE3_METHODS, FigureSeries, figure3_series, figure5_stats
 from .report import ascii_plot, render_series, render_table, table_to_csv
@@ -24,6 +30,10 @@ __all__ = [
     "run_matrix",
     "evaluate_final",
     "batched_objective",
+    "ProcessWindowRecord",
+    "evaluate_process_window",
+    "run_process_window",
+    "process_window_table",
     "TableData",
     "table3",
     "table4",

@@ -13,12 +13,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from ..layouts import dataset_by_name, DATASET_NAMES
+from ..optics import ProcessWindow
 from .figures import figure3_series, figure5_stats
+from .process_window import process_window_table, run_process_window
 from .report import ascii_plot, render_series, render_table, table_to_csv
 from .runner import METHOD_ORDER, RunSettings, run_matrix
 from .tables import table3, table4
@@ -73,6 +76,44 @@ def build_parser() -> argparse.ArgumentParser:
     common(p5)
     p5.add_argument("--dataset", default="ICCAD13", choices=list(DATASET_NAMES))
 
+    pw = sub.add_parser(
+        "pwindow",
+        help="robust process-window run + per-corner report",
+        description="Optimize selected methods robustly across a dose x "
+        "focus corner grid and report per-corner L2/EPE plus the "
+        "window-wide variation band.",
+    )
+    common(pw)
+    pw.add_argument("--dataset", default="ICCAD13", choices=list(DATASET_NAMES))
+    pw.add_argument(
+        "--pw-doses",
+        type=float,
+        nargs="+",
+        default=[0.98, 1.0, 1.02],
+        help="dose corner factors (default: %(default)s)",
+    )
+    pw.add_argument(
+        "--pw-focus",
+        type=float,
+        nargs="+",
+        default=[0.0],
+        help="focus corners in nm (default: %(default)s); each distinct "
+        "value costs one imaging pass, dose corners are free",
+    )
+    pw.add_argument(
+        "--robust",
+        choices=["sum", "max"],
+        default="sum",
+        help="corner reduction: weighted sum or smooth worst-case "
+        "(log-sum-exp)",
+    )
+    pw.add_argument(
+        "--tau",
+        type=float,
+        default=1.0,
+        help="log-sum-exp temperature for --robust max (loss units)",
+    )
+
     return parser
 
 
@@ -114,6 +155,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(render_table(t4))
             if out_dir:
                 table_to_csv(t4, out_dir / "table4.csv")
+        return 0
+
+    if args.command == "pwindow":
+        window = ProcessWindow.from_grid(args.pw_doses, args.pw_focus)
+        settings = dataclasses.replace(
+            _settings(args),
+            process_window=window,
+            robust=args.robust,
+            robust_tau=args.tau,
+        )
+        ds = dataset_by_name(args.dataset, num_clips=max(args.clips, 1))
+        clips = list(ds)[: args.clips]
+        methods = args.methods or ["Abbe-MO", "BiSMO-NMN"]
+        records = run_process_window(methods, clips, settings, ds.name)
+        for value in ("l2", "epe"):
+            table = process_window_table(records, value=value)
+            print(render_table(table))
+            print()
+            if out_dir:
+                table_to_csv(table, out_dir / f"pwindow_{value}.csv")
         return 0
 
     if args.command == "fig3":

@@ -1,0 +1,177 @@
+"""Process-window report: per-corner metrics for finished runs.
+
+The harness counterpart of the robust condition-axis objectives: judge a
+finished (source, mask) pair at *every* corner of a
+:class:`repro.optics.ProcessWindow` under the lossless Abbe model —
+per-corner loss / L2 / EPE plus the window-wide variation band
+(:func:`repro.metrics.pvb_band_nm2`) — and render the result as a
+corner-matrix table.  Used by the ``bismo pwindow`` CLI subcommand and
+directly from python.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..layouts import Clip
+from ..metrics import epe_report, l2_error_nm2, pvb_band_nm2
+from ..optics import OpticalConfig, ProcessWindow
+from ..smo import SMOResult, ProcessWindowSMOObjective, init_theta_source
+from ..smo.objective import robust_tile_losses
+from .runner import RunSettings, _annular_source, _dispatch, _target_image
+from .tables import TableData
+
+__all__ = [
+    "ProcessWindowRecord",
+    "evaluate_process_window",
+    "run_process_window",
+    "process_window_table",
+]
+
+
+@dataclass
+class ProcessWindowRecord:
+    """Per-corner judgment of one (method, clip) run."""
+
+    method: str
+    dataset: str
+    clip: str
+    corner_labels: Tuple[str, ...]
+    corner_loss: np.ndarray  # (C,) squared-error loss per corner
+    corner_l2_nm2: np.ndarray  # (C,) L2 error per corner
+    corner_epe: np.ndarray  # (C,) EPE violation counts per corner
+    band_nm2: float  # variation band across ALL corners
+    robust_loss: float  # the robust reduction of corner_loss
+    runtime_s: float = 0.0
+    losses: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+
+def evaluate_process_window(
+    result: SMOResult,
+    clip: Clip,
+    settings: RunSettings,
+    window: Optional[ProcessWindow] = None,
+    source_fallback: Optional[np.ndarray] = None,
+    binary_mask: bool = True,
+) -> ProcessWindowRecord:
+    """Judge a finished run at every corner of ``window``.
+
+    Mirrors :func:`repro.harness.evaluate_final` (lossless Abbe judge,
+    hard-thresholded mask by default) but sweeps the whole corner grid:
+    the per-corner resist images come from one fused condition-axis
+    evaluation (shared mask spectrum across focus values, dose corners
+    free), not C independent simulations.
+    """
+    cfg = settings.config
+    window = window or settings.process_window or ProcessWindow.from_config(cfg)
+    target = _target_image(clip, cfg)
+    judge = ProcessWindowSMOObjective(
+        cfg,
+        target,
+        window,
+        robust=settings.robust,
+        tau=settings.robust_tau,
+    )
+    theta_j = result.theta_j
+    if theta_j is None:
+        src = source_fallback if source_fallback is not None else _annular_source(cfg)
+        theta_j = init_theta_source(src, cfg)
+    theta_m = result.theta_m
+    if binary_mask:
+        # +/-1e3 drives the sigmoid to exactly 0/1 in float64.
+        theta_m = np.where(theta_m >= 0.0, 1e3, -1e3)
+    images = judge.images(theta_j, theta_m)
+    resists = images["corner_resists"]  # (C, N, N)
+    corner_l2 = np.array(
+        [l2_error_nm2(z, target, cfg) for z in resists]
+    )
+    corner_epe = np.array(
+        [epe_report(z, clip.rects, cfg).violations for z in resists]
+    )
+    # The corner-loss matrix comes straight from the resist stack the
+    # judge already imaged — no second condition-axis pass.
+    matrix = ((resists - target[None]) ** 2).sum(axis=(-2, -1))[:, None]
+    robust = float(
+        robust_tile_losses(matrix, window, settings.robust, settings.robust_tau)[0]
+    )
+    return ProcessWindowRecord(
+        method=result.method,
+        dataset="",
+        clip=clip.name,
+        corner_labels=window.labels,
+        corner_loss=matrix[:, 0],
+        corner_l2_nm2=corner_l2,
+        corner_epe=corner_epe,
+        band_nm2=pvb_band_nm2(resists, cfg),
+        robust_loss=robust,
+    )
+
+
+def run_process_window(
+    methods: Sequence[str],
+    clips: Sequence[Clip],
+    settings: RunSettings,
+    dataset_name: str = "",
+) -> List[ProcessWindowRecord]:
+    """Run each (method, clip) cell robustly and judge the full window.
+
+    ``settings.process_window`` must be set: every solver optimizes the
+    robust objective across it, and the report judges the same corners.
+    """
+    if settings.process_window is None:
+        raise ValueError("run_process_window needs settings.process_window")
+    cfg = settings.config
+    records: List[ProcessWindowRecord] = []
+    for clip in clips:
+        target = _target_image(clip, cfg)
+        source = _annular_source(cfg)
+        for method in methods:
+            start = time.perf_counter()
+            result = _dispatch(method, settings, target, source)
+            runtime = time.perf_counter() - start
+            rec = evaluate_process_window(
+                result, clip, settings, source_fallback=source
+            )
+            rec.method = method
+            rec.dataset = dataset_name
+            rec.runtime_s = runtime
+            rec.losses = result.losses
+            records.append(rec)
+    return records
+
+
+def process_window_table(
+    records: Sequence[ProcessWindowRecord], value: str = "l2"
+) -> TableData:
+    """Corner-matrix table: one row per (method, clip), one column per
+    corner plus the window band and the robust loss.
+
+    ``value`` picks the per-corner quantity: ``"l2"`` (nm^2 L2 error),
+    ``"loss"`` (squared-error loss) or ``"epe"`` (violation counts).
+    """
+    fields = {
+        "l2": ("corner_l2_nm2", "per-corner L2 (nm^2)"),
+        "loss": ("corner_loss", "per-corner loss"),
+        "epe": ("corner_epe", "per-corner EPE violations"),
+    }
+    if value not in fields:
+        raise KeyError(f"unknown value {value!r}; choose from {sorted(fields)}")
+    attr, caption = fields[value]
+    if not records:
+        raise ValueError("no records")
+    labels = records[0].corner_labels
+    columns = list(labels) + ["band_nm2", "robust"]
+    rows = []
+    for rec in records:
+        if rec.corner_labels != labels:
+            raise ValueError("records judge different windows")
+        cells = [float(v) for v in getattr(rec, attr)]
+        cells += [rec.band_nm2, rec.robust_loss]
+        rows.append((f"{rec.clip}/{rec.method}", cells))
+    return TableData(
+        title=f"Process window — {caption}", columns=columns, rows=rows
+    )

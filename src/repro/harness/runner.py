@@ -34,7 +34,7 @@ from .. import autodiff as ad
 from ..baselines import MultiLevelILT, NILTBaseline
 from ..layouts import Clip, Dataset, tile_stack
 from ..metrics import epe_report, l2_error_nm2, pvb_nm2
-from ..optics import OpticalConfig, SourceGrid, annular
+from ..optics import OpticalConfig, ProcessWindow, SourceGrid, annular
 from ..smo import (
     AMSMO,
     AbbeMO,
@@ -83,6 +83,13 @@ class RunSettings:
     terms: int = 5
     cg_damping: float = 1.0
     hvp_mode: str = "exact"
+    #: Optional robust dose x focus condition axis: when set, every
+    #: dispatched solver optimizes the robust corner loss across it
+    #: (``robust`` / ``robust_tau`` pick the reduction) and the
+    #: process-window report judges the same corners.
+    process_window: Optional["ProcessWindow"] = None
+    robust: str = "sum"
+    robust_tau: float = 1.0
 
     @classmethod
     def preset(cls, scale: str = "default", **overrides) -> "RunSettings":
@@ -132,19 +139,29 @@ def _dispatch(
     cfg = settings.config
     iters = settings.iterations
     common = dict(lr=settings.lr, optimizer=settings.optimizer)
+    robust = dict(
+        process_window=settings.process_window,
+        robust=settings.robust,
+        robust_tau=settings.robust_tau,
+    )
     if method == "NILT":
         return NILTBaseline(
-            cfg, target, source, num_kernels=settings.num_kernels, **common
+            cfg, target, source, num_kernels=settings.num_kernels,
+            **common, **robust,
         ).run(iterations=iters)
     if method == "DAC23-MILT":
         return MultiLevelILT(
-            cfg, target, source, num_kernels=settings.num_kernels, **common
+            cfg, target, source, num_kernels=settings.num_kernels,
+            **common, **robust,
         ).run(iterations=iters)
     if method == "Abbe-MO":
-        return AbbeMO(cfg, target, source, **common).run(iterations=iters)
+        return AbbeMO(cfg, target, source, **common, **robust).run(
+            iterations=iters
+        )
     if method == "Hopkins-MO":
         return HopkinsMO(
-            cfg, target, source, num_kernels=settings.num_kernels, **common
+            cfg, target, source, num_kernels=settings.num_kernels,
+            **common, **robust,
         ).run(iterations=iters)
     if method.startswith("AM-SMO"):
         mode = "abbe-hopkins" if "Hopkins" in method else "abbe-abbe"
@@ -165,6 +182,7 @@ def _dispatch(
             lr_mo=settings.lr,
             mo_optimizer=settings.optimizer,
             num_kernels=settings.num_kernels,
+            **robust,
         ).run(source)
     if method.startswith("BiSMO"):
         kind = method.split("-", 1)[1].lower()
@@ -179,6 +197,7 @@ def _dispatch(
             outer_optimizer=settings.optimizer,
             hvp_mode=settings.hvp_mode,
             damping=settings.cg_damping if kind == "cg" else 0.0,
+            **robust,
         ).run(source, iterations=iters)
     raise KeyError(f"unknown method {method!r}")
 
@@ -329,7 +348,11 @@ def _run_cell(cell: _Cell, settings: RunSettings) -> List[RunRecord]:
     return [run_clip(method, payload, settings, ds_name)]
 
 
-def _worker_warmup(config: OpticalConfig, fft_workers: Optional[int] = None) -> None:
+def _worker_warmup(
+    config: OpticalConfig,
+    fft_workers: Optional[int] = None,
+    process_window: Optional[ProcessWindow] = None,
+) -> None:
     """Process-pool initializer: pre-build the shared optics cache and
     cap the per-process FFT thread count.
 
@@ -343,7 +366,7 @@ def _worker_warmup(config: OpticalConfig, fft_workers: Optional[int] = None) -> 
 
     if fft_workers is not None:
         fftlib.set_workers(fft_workers)
-    cache.warmup(config)
+    cache.warmup(config, process_window=process_window)
 
 
 def run_matrix(
@@ -393,7 +416,7 @@ def run_matrix(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_warmup,
-        initargs=(settings.config, fft_workers),
+        initargs=(settings.config, fft_workers, settings.process_window),
     ) as pool:
         futures = [pool.submit(_run_cell, cell, settings) for cell in cells]
         for cell, future in zip(cells, futures):

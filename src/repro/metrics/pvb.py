@@ -11,7 +11,7 @@ import numpy as np
 
 from ..optics import OpticalConfig, binarize
 
-__all__ = ["pvb_nm2", "pvb_pixels"]
+__all__ = ["pvb_nm2", "pvb_pixels", "pvb_band_pixels", "pvb_band_nm2"]
 
 
 def pvb_pixels(
@@ -31,3 +31,30 @@ def pvb_nm2(
 ) -> float:
     """Process variation band area in nm^2 (Definition 2, Table 3 units)."""
     return pvb_pixels(resist_min, resist_max, threshold) * config.pixel_area_nm2
+
+
+def pvb_band_pixels(resist_stack: np.ndarray, threshold: float = 0.5) -> int:
+    """Variation band across a whole ``(C, N, N)`` corner resist stack.
+
+    Generalizes the two-corner XOR of :func:`pvb_pixels` to an arbitrary
+    process window: pixels that print at *some* corner but not at *all*
+    corners (union minus intersection of the printed regions).  For two
+    corners this reduces exactly to the XOR definition.
+    """
+    if resist_stack.ndim != 3:
+        raise ValueError(
+            f"resist_stack must be (C, N, N); got {resist_stack.shape}"
+        )
+    printed = resist_stack >= threshold
+    union = printed.any(axis=0)
+    intersection = printed.all(axis=0)
+    return int((union & ~intersection).sum())
+
+
+def pvb_band_nm2(
+    resist_stack: np.ndarray,
+    config: OpticalConfig,
+    threshold: float = 0.5,
+) -> float:
+    """Process-window variation band area in nm^2 (all corners)."""
+    return pvb_band_pixels(resist_stack, threshold) * config.pixel_area_nm2

@@ -5,7 +5,7 @@ unified FFT dispatch (:mod:`repro.optics.fftlib`), and the resist
 model."""
 
 from . import fftlib
-from .config import OpticalConfig
+from .config import OpticalConfig, ProcessCorner, ProcessWindow
 from .source import (
     SourceGrid,
     annular,
@@ -14,7 +14,13 @@ from .source import (
     dipole,
     quasar,
 )
-from .pupil import defocus_phase, defocused_pupil_stack, pupil, shifted_pupil_stack
+from .pupil import (
+    conj_pair_indices,
+    defocus_phase,
+    defocused_pupil_stack,
+    pupil,
+    shifted_pupil_stack,
+)
 from .engine import ImagingEngine, as_tile_batch, engine_for, incoherent_sum_fast
 from .abbe import AbbeImaging
 from .hopkins import HopkinsImaging, build_tcc, socs_kernels
@@ -23,6 +29,8 @@ from . import cache
 
 __all__ = [
     "OpticalConfig",
+    "ProcessCorner",
+    "ProcessWindow",
     "SourceGrid",
     "annular",
     "quasar",
@@ -33,6 +41,7 @@ __all__ = [
     "shifted_pupil_stack",
     "defocus_phase",
     "defocused_pupil_stack",
+    "conj_pair_indices",
     "ImagingEngine",
     "as_tile_batch",
     "engine_for",

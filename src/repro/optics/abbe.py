@@ -80,6 +80,7 @@ class AbbeImaging:
         self.config = config
         self.fused = bool(fused)
         self.defocus_nm = float(defocus_nm)
+        self._custom_grid = source_grid is not None
         if source_grid is None:
             from . import cache
 
@@ -87,7 +88,10 @@ class AbbeImaging:
             self._pupil_stack, self._valid_index = cache.pupil_stack(
                 config, self.defocus_nm
             )
+            self._conj_pairs = cache.conj_pairs(config, self.defocus_nm)
         else:
+            from .pupil import conj_pair_indices
+
             self.source_grid = source_grid
             if self.defocus_nm == 0.0:
                 from .pupil import shifted_pupil_stack
@@ -101,45 +105,52 @@ class AbbeImaging:
                 )
             self._pupil_stack = ad.Tensor(stack)
             self._valid_index = valid_index
+            self._conj_pairs = conj_pair_indices(
+                stack, valid_index, self.source_grid
+            )
         self.num_source_points = self._pupil_stack.shape[0]
-        self._conj_pairs = self._build_conj_pairs()
+        #: Per-focus (stack, conj_pairs) memo for custom-grid engines
+        #: (cache-backed engines resolve through repro.optics.cache).
+        self._condition_memo: dict = {}
 
     # ------------------------------------------------------------------
-    def _build_conj_pairs(self) -> Optional[np.ndarray]:
-        """Frequency-reversal pairing of the shifted pupils, if any.
+    def condition_stacks(self, focus_values):
+        """Per-focus ``(pupil_stack_tensor, conj_pairs)`` pairs.
 
-        The source grid is point-symmetric, so the pupil shifted by
-        ``sigma`` is the frequency reversal of the one shifted by
-        ``-sigma`` — the structure the fused primitive exploits to
-        evaluate only one field per ``+/-sigma`` pair on real masks.
-        The candidate pairing (from the source coordinates) is verified
-        against the actual pupil samples, so defocused (complex) or
-        asymmetric custom stacks simply opt out (``None``).
+        The condition axis of a process window: one entry per distinct
+        focus value, shared through :mod:`repro.optics.cache` (or a
+        per-engine memo when a custom source grid is in play).  Zero
+        defocus keeps its real stack and verified ``+/-sigma`` pairing;
+        defocused stacks are complex and opt out of pairing.
         """
-        from . import fftlib
+        out = []
+        for focus in focus_values:
+            focus = float(focus)
+            if focus == self.defocus_nm:
+                out.append((self._pupil_stack, self._conj_pairs))
+            elif not self._custom_grid:
+                from . import cache
 
-        stack = self._pupil_stack.data
-        if np.iscomplexobj(stack):
-            return None
-        rows, cols = self._valid_index
-        sx = self.source_grid.sigma_x[rows, cols]
-        sy = self.source_grid.sigma_y[rows, cols]
-        index = {
-            (round(float(x), 9), round(float(y), 9)): i
-            for i, (x, y) in enumerate(zip(sx, sy))
-        }
-        pairs = np.empty(sx.size, dtype=np.intp)
-        for i, (x, y) in enumerate(zip(sx, sy)):
-            j = index.get((round(float(-x), 9), round(float(-y), 9)))
-            if j is None:
-                return None
-            pairs[i] = j
-        # Pupils are exact 0/1 indicators, so the reversal identity can
-        # be checked bitwise (one-time cost per engine build).
-        reps = np.nonzero(pairs > np.arange(pairs.size))[0]
-        if not np.array_equal(stack[pairs[reps]], fftlib.freq_reverse(stack[reps])):
-            return None
-        return pairs
+                stack_t, _ = cache.pupil_stack(self.config, focus)
+                out.append((stack_t, cache.conj_pairs(self.config, focus)))
+            else:
+                if focus not in self._condition_memo:
+                    from .engine import CONDITION_MEMO_MAX
+                    from .pupil import conj_pair_indices, defocused_pupil_stack
+
+                    if len(self._condition_memo) >= CONDITION_MEMO_MAX:
+                        # Bounded FIFO: cached engines are shared, so the
+                        # memo must not grow with every focus ever seen.
+                        del self._condition_memo[next(iter(self._condition_memo))]
+                    stack, valid_index = defocused_pupil_stack(
+                        self.config, self.source_grid, focus
+                    )
+                    self._condition_memo[focus] = (
+                        ad.Tensor(stack),
+                        conj_pair_indices(stack, valid_index, self.source_grid),
+                    )
+                out.append(self._condition_memo[focus])
+        return out
 
     def source_weights(self, source: ad.Tensor) -> ad.Tensor:
         """Extract the valid-point weight vector ``j_s`` from a source image."""
@@ -186,7 +197,81 @@ class AbbeImaging:
         )
         return out[0] if single else out
 
-    def source_intensity_basis(self, masks: np.ndarray) -> np.ndarray:
+    # ------------------------------------------------------------------
+    # process-condition axis
+    # ------------------------------------------------------------------
+    def aerial_conditions(
+        self,
+        mask: ad.Tensor,
+        source: ad.Tensor,
+        focus_values,
+    ) -> ad.Tensor:
+        """Aerial stack across focus conditions: ``(F, B, N, N)``.
+
+        One fused :func:`repro.autodiff.functional.incoherent_image_stack`
+        node evaluates every focus value of a process window against a
+        single shared mask-spectrum FFT; dose corners never reach this
+        layer (dose is an exact post-aerial ``dose**2`` scaling applied
+        by the resist model).  Single ``(N, N)`` masks return
+        ``(F, N, N)``.  Differentiable w.r.t. mask and source exactly
+        like :meth:`aerial` (including second-order products through the
+        primitive's composed-op ``create_graph`` fallback).  As with
+        :meth:`aerial`, ``fused=False`` engines build the composed-op
+        reference graph instead (one :func:`incoherent_image_composed`
+        per focus, scattered into the condition stack).
+        """
+        if source is None:
+            raise ValueError("AbbeImaging.aerial_conditions requires a source")
+        j = self.source_weights(source)
+        jn = F.div(j, F.add(F.sum(j), _EPS))
+        stacks_pairs = self.condition_stacks(focus_values)
+        if not self.fused:
+            aerials = [
+                F.incoherent_image_composed(mask, stack, jn)
+                for stack, _ in stacks_pairs
+            ]
+            shape = (len(aerials),) + aerials[0].shape
+            total = None
+            for fi, aerial in enumerate(aerials):
+                part = F.scatter(aerial, fi, shape)
+                total = part if total is None else F.add(total, part)
+            return total
+        return F.incoherent_image_stack(
+            mask,
+            [stack for stack, _ in stacks_pairs],
+            jn,
+            conj_pairs=[pairs for _, pairs in stacks_pairs],
+        )
+
+    def aerial_conditions_fast(
+        self,
+        mask: MaskLike,
+        source: MaskLike,
+        focus_values,
+    ) -> np.ndarray:
+        """Graph-free condition-axis forward, matching
+        :meth:`aerial_conditions` numerically (inference/judge path)."""
+        if source is None:
+            raise ValueError(
+                "AbbeImaging.aerial_conditions_fast requires a source"
+            )
+        src = source.data if isinstance(source, ad.Tensor) else np.asarray(source)
+        src = np.asarray(src, dtype=np.float64)
+        tiles, single = as_tile_batch(mask, self.config.mask_size)
+        j = src[self._valid_index]
+        norm = float(j.sum()) + _EPS
+        stacks_pairs = self.condition_stacks(focus_values)
+        out = np.stack(
+            [
+                incoherent_sum_fast(tiles, stack.data, j, norm)
+                for stack, _ in stacks_pairs
+            ]
+        )
+        return out[:, 0] if single else out
+
+    def source_intensity_basis(
+        self, masks: np.ndarray, pupil_stack: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Per-source-point intensity basis ``X[b, s] = |IFFT(H_s FFT(M_b))|^2``.
 
         Abbe's aerial image is *linear* in the normalized source weights:
@@ -199,11 +284,17 @@ class AbbeImaging:
         :meth:`aerial` to floating-point rounding (~1e-16 relative — the
         fused forward accumulates in conjugate-paired chunks, so the
         summation order differs).
+
+        ``pupil_stack`` substitutes a different kernel stack (e.g. one
+        focus condition's defocused pupils from
+        :meth:`condition_stacks`) for the engine's own — the
+        process-window objective builds one basis per focus value this
+        way.
         """
         from . import fftlib
 
         tiles, _ = as_tile_batch(masks, self.config.mask_size)
-        kernels = self._pupil_stack.data
+        kernels = self._pupil_stack.data if pupil_stack is None else pupil_stack
         fm = fftlib.fft2(tiles)  # (B, N, N)
         out = np.empty((tiles.shape[0],) + kernels.shape)
         # Tile-at-a-time keeps the working set cache-sized; per-tile

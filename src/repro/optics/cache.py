@@ -35,6 +35,7 @@ __all__ = [
     "freq_grid",
     "source_grid",
     "pupil_stack",
+    "conj_pairs",
     "socs",
     "abbe_engine",
     "hopkins_engine",
@@ -192,6 +193,26 @@ def pupil_stack(config: OpticalConfig, defocus_nm: float = 0.0):
     return _lookup("pupil_stack", _pupil_key(config) + (float(defocus_nm),), build)
 
 
+def conj_pairs(config: OpticalConfig, defocus_nm: float = 0.0):
+    """Memoized ``+/-sigma`` conjugate pairing of a cached pupil stack.
+
+    Returns the verified involution array (see
+    :func:`repro.optics.pupil.conj_pair_indices`) or ``None`` — complex
+    (defocused) stacks opt out.  Cached so every engine / condition-axis
+    evaluation for one config shares a single verification pass.
+    """
+    from .pupil import conj_pair_indices
+
+    def build():
+        stack_t, valid_index = pupil_stack(config, defocus_nm)
+        pairs = conj_pair_indices(stack_t.data, valid_index, source_grid(config))
+        if pairs is not None:
+            _freeze(pairs)
+        return pairs
+
+    return _lookup("conj_pairs", _pupil_key(config) + (float(defocus_nm),), build)
+
+
 def socs(
     config: OpticalConfig,
     source: np.ndarray,
@@ -245,8 +266,9 @@ def hopkins_engine(
     config: OpticalConfig,
     source: np.ndarray,
     num_kernels: Optional[int] = None,
+    defocus_nm: float = 0.0,
 ):
-    """Shared :class:`HopkinsImaging` instance for (config, source, Q)."""
+    """Shared :class:`HopkinsImaging` for (config, source, Q, defocus)."""
     from .hopkins import HopkinsImaging
 
     q = num_kernels or config.socs_terms
@@ -254,14 +276,16 @@ def hopkins_engine(
     # budget — otherwise evicted decompositions would stay alive here.
     return _lookup(
         "hopkins_engine",
-        (config, q) + _source_key(source),
-        lambda: HopkinsImaging(config, source, q),
+        (config, q, float(defocus_nm)) + _source_key(source),
+        lambda: HopkinsImaging(config, source, q, defocus_nm=defocus_nm),
         weigh=lambda engine: engine._kernel_stack.data.nbytes,
         budget=SOCS_BUDGET_BYTES,
     )
 
 
-def warmup(config: OpticalConfig, defocus_nm: float = 0.0) -> None:
+def warmup(
+    config: OpticalConfig, defocus_nm: float = 0.0, process_window=None
+) -> None:
     """Pre-build every config-keyed entry (grids, pupil stack, engine).
 
     Parallel harness workers call this once at start-up so all
@@ -269,12 +293,21 @@ def warmup(config: OpticalConfig, defocus_nm: float = 0.0) -> None:
     the pupil-stack build inside their first timed iteration.  SOCS
     entries are source-keyed and cannot be warmed here; they populate on
     first use per (config, source, Q).
+
+    ``process_window`` (a :class:`repro.optics.config.ProcessWindow`)
+    additionally pre-builds the per-focus defocused pupil stacks and
+    conjugate pairings of its condition axis.
     """
     freq_axes(config)
     freq_grid(config)
     source_grid(config)
     pupil_stack(config, defocus_nm)
+    conj_pairs(config, defocus_nm)
     abbe_engine(config, defocus_nm)
+    if process_window is not None:
+        for focus in process_window.focus_values():
+            pupil_stack(config, focus)
+            conj_pairs(config, focus)
 
 
 # ----------------------------------------------------------------------

@@ -15,11 +15,11 @@ the paper-scale preset remains available.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["OpticalConfig"]
+__all__ = ["OpticalConfig", "ProcessCorner", "ProcessWindow"]
 
 
 @dataclass(frozen=True)
@@ -143,3 +143,157 @@ class OpticalConfig:
     def with_(self, **kwargs) -> "OpticalConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kwargs)
+
+    def process_window(self) -> "ProcessWindow":
+        """The paper's dose-only window (Eq. (8)) for this configuration."""
+        return ProcessWindow.from_config(self)
+
+
+# ----------------------------------------------------------------------
+# process windows — the dose x focus condition axis
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One process condition: a (dose, focus) pair with a loss weight.
+
+    ``dose`` multiplies the mask transmission (the paper's +/-2 %
+    corners); because aerial intensity is quadratic in the mask, its
+    effect is an exact ``dose**2`` scaling of the aerial image applied
+    *post-imaging* in the resist model — corners that share a focus
+    value therefore share the entire imaging pass.  ``defocus_nm`` is a
+    wafer-plane focus offset realized as a pupil phase
+    (:func:`repro.optics.pupil.defocus_phase`); each distinct focus
+    value costs one imaging pass.  ``weight`` is the corner's absolute
+    loss weight (the paper's gamma / eta are the dose-corner weights).
+    """
+
+    dose: float = 1.0
+    defocus_nm: float = 0.0
+    weight: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dose <= 0.0:
+            raise ValueError(f"corner dose must be positive; got {self.dose}")
+        if self.weight <= 0.0:
+            raise ValueError(f"corner weight must be positive; got {self.weight}")
+        if not self.label:
+            object.__setattr__(
+                self, "label", f"d{self.dose:g}/f{self.defocus_nm:g}nm"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class ProcessWindow:
+    """A weighted dose x focus corner grid — the process-condition axis.
+
+    The window is what robust objectives
+    (:class:`repro.smo.objective.ProcessWindowSMOObjective`) optimize
+    across and what the harness process-window report sweeps.  It is a
+    hashable frozen value object, so it rides inside
+    :class:`repro.harness.RunSettings` and pickles across the parallel
+    sweep's process pool.
+
+    Corners are grouped by focus for evaluation: :meth:`focus_values`
+    returns the distinct defocus settings (one imaging pass each) and
+    :meth:`focus_index` maps every corner to its pass, so a C-corner
+    window with F distinct focus values costs F aerial evaluations —
+    dose corners are free (an exact post-aerial ``dose**2`` scaling).
+    """
+
+    corners: Tuple[ProcessCorner, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "corners", tuple(self.corners))
+        if not self.corners:
+            raise ValueError("a ProcessWindow needs at least one corner")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_corners(self) -> int:
+        return len(self.corners)
+
+    @property
+    def doses(self) -> np.ndarray:
+        """Per-corner dose factors, shape ``(C,)``."""
+        return np.array([c.dose for c in self.corners])
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-corner loss weights, shape ``(C,)``."""
+        return np.array([c.weight for c in self.corners])
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(c.label for c in self.corners)
+
+    def focus_values(self) -> Tuple[float, ...]:
+        """Distinct defocus settings in first-appearance order.
+
+        Each entry is one imaging pass; all corners are resolved against
+        this tuple by :meth:`focus_index`.
+        """
+        seen: dict = {}
+        for c in self.corners:
+            seen.setdefault(float(c.defocus_nm), None)
+        return tuple(seen)
+
+    def focus_index(self) -> np.ndarray:
+        """Corner -> index into :meth:`focus_values`, shape ``(C,)``."""
+        order = {f: i for i, f in enumerate(self.focus_values())}
+        return np.array([order[float(c.defocus_nm)] for c in self.corners])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(cls, config: OpticalConfig) -> "ProcessWindow":
+        """The paper's Eq. (8) window: nominal + dose corners, one focus.
+
+        Weighted so that the robust weighted-sum objective over this
+        window *is* the classic SMO loss ``gamma * L2 + eta * L_pvb``:
+        the nominal corner carries ``gamma``, each +/-2 % dose corner
+        carries ``eta``.
+        """
+        return cls(
+            corners=(
+                ProcessCorner(1.0, 0.0, config.gamma, "nominal"),
+                ProcessCorner(config.dose_min, 0.0, config.eta, "dose-"),
+                ProcessCorner(config.dose_max, 0.0, config.eta, "dose+"),
+            )
+        )
+
+    @classmethod
+    def from_grid(
+        cls,
+        doses: Sequence[float],
+        focus_nm: Sequence[float] = (0.0,),
+        weights: Optional[Sequence[float]] = None,
+    ) -> "ProcessWindow":
+        """Full dose x focus grid, dose-major corner order.
+
+        ``weights`` is a flat per-corner sequence of length
+        ``len(doses) * len(focus_nm)`` (matching the dose-major order)
+        or ``None`` for uniform weights.
+        """
+        doses = tuple(float(d) for d in doses)
+        focus_nm = tuple(float(f) for f in focus_nm)
+        if not doses or not focus_nm:
+            raise ValueError("need at least one dose and one focus value")
+        count = len(doses) * len(focus_nm)
+        if weights is None:
+            weights = (1.0,) * count
+        weights = tuple(float(w) for w in weights)
+        if len(weights) != count:
+            raise ValueError(
+                f"need {count} weights for a {len(doses)}x{len(focus_nm)} "
+                f"grid; got {len(weights)}"
+            )
+        corners = tuple(
+            ProcessCorner(d, f, weights[i * len(focus_nm) + j])
+            for i, d in enumerate(doses)
+            for j, f in enumerate(focus_nm)
+        )
+        return cls(corners=corners)

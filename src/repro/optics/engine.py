@@ -18,6 +18,17 @@ through the same small surface, the :class:`ImagingEngine` protocol:
     weight contributes nothing to the incoherent sum).  Used by
     ``images()``, metric evaluation and the harness judge.
 
+``aerial_conditions(mask, source, focus_values)`` /
+``aerial_conditions_fast(...)``
+    The process-condition axis: a ``(F, B, N, N)`` aerial stack across
+    the distinct focus values of a :class:`~repro.optics.config.
+    ProcessWindow`, evaluated as one fused
+    ``incoherent_image_stack`` node that shares a single mask-spectrum
+    FFT across all conditions.  Dose corners never reach the engines —
+    dose is an exact post-aerial ``dose**2`` scaling applied by the
+    resist model, so corners sharing a focus value share the entire
+    imaging pass.
+
 Routing every consumer through this protocol is what lets batching and
 caching (:mod:`repro.optics.cache`) land everywhere at once.
 """
@@ -32,9 +43,23 @@ from .. import autodiff as ad
 from . import fftlib
 from .config import OpticalConfig
 
-__all__ = ["ImagingEngine", "MaskLike", "as_tile_batch", "incoherent_sum_fast", "engine_for"]
+__all__ = [
+    "ImagingEngine",
+    "MaskLike",
+    "as_tile_batch",
+    "incoherent_sum_fast",
+    "engine_for",
+    "CONDITION_MEMO_MAX",
+]
 
 MaskLike = Union[np.ndarray, "ad.Tensor"]
+
+#: Per-engine bound on memoized per-focus kernel/pupil stacks.  Cached
+#: engine instances are shared module-wide, so an unbounded memo would
+#: grow outside the optics cache's byte accounting; real windows use a
+#: handful of focus values, so a small FIFO (an engine's own focus is
+#: never evicted) keeps memory flat without thrashing.
+CONDITION_MEMO_MAX = 8
 
 
 @runtime_checkable
@@ -54,6 +79,25 @@ class ImagingEngine(Protocol):
         self, mask: MaskLike, source: Optional[MaskLike] = None
     ) -> np.ndarray:
         """Graph-free inference path, numerically matching :meth:`aerial`."""
+        ...
+
+    def aerial_conditions(
+        self,
+        mask: "ad.Tensor",
+        source: Optional["ad.Tensor"] = None,
+        focus_values=(0.0,),
+    ) -> "ad.Tensor":
+        """Differentiable ``(F, [B,] N, N)`` aerial stack across focus
+        conditions, sharing one mask-spectrum FFT."""
+        ...
+
+    def aerial_conditions_fast(
+        self,
+        mask: MaskLike,
+        source: Optional[MaskLike] = None,
+        focus_values=(0.0,),
+    ) -> np.ndarray:
+        """Graph-free counterpart of :meth:`aerial_conditions`."""
         ...
 
 
@@ -146,7 +190,5 @@ def engine_for(
     if model == "hopkins":
         if source is None:
             raise ValueError("hopkins engines require a fixed source image")
-        if defocus_nm != 0.0:
-            raise ValueError("defocus is only supported by the abbe engine")
-        return cache.hopkins_engine(config, source, num_kernels)
+        return cache.hopkins_engine(config, source, num_kernels, defocus_nm)
     raise KeyError(f"unknown imaging model {model!r}; choose 'abbe' or 'hopkins'")

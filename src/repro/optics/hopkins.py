@@ -25,7 +25,12 @@ import scipy.sparse.linalg
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from .config import OpticalConfig
-from .engine import MaskLike, as_tile_batch, incoherent_sum_fast
+from .engine import (
+    CONDITION_MEMO_MAX,
+    MaskLike,
+    as_tile_batch,
+    incoherent_sum_fast,
+)
 from .source import SourceGrid
 
 __all__ = ["HopkinsImaging", "build_tcc", "socs_kernels"]
@@ -120,6 +125,14 @@ class HopkinsImaging:
     num_kernels:
         SOCS truncation order Q; ``None`` uses ``config.socs_terms``;
         pass the full support size for a lossless (test) decomposition.
+    defocus_nm:
+        Wafer-plane focus offset.  The defocused TCC is the in-focus
+        TCC conjugated by the (even) defocus phase ``D``:
+        ``TCC_z[p, q] = D(f_p) conj(D(f_q)) TCC_0[p, q]`` — a unitary
+        diagonal congruence, so the eigenvalues are unchanged and the
+        defocused SOCS kernels are exactly ``Phi_q * D``.  Defocus
+        therefore costs one elementwise phase multiply, never a TCC
+        re-assembly or re-decomposition.
     fused:
         When True (default) :meth:`aerial` is one fused
         :func:`repro.autodiff.functional.incoherent_image` node
@@ -135,14 +148,16 @@ class HopkinsImaging:
         num_kernels: Optional[int] = None,
         source_grid: Optional[SourceGrid] = None,
         fused: bool = True,
+        defocus_nm: float = 0.0,
     ):
         config.validate_sampling()
         self.config = config
         self.fused = bool(fused)
+        self.defocus_nm = float(defocus_nm)
         if source_grid is None:
             from . import cache
 
-            self.weights, self._kernel_stack, self.tcc_trace = cache.socs(
+            self.weights, self._base_kernel_stack, self.tcc_trace = cache.socs(
                 config, source, num_kernels
             )
         else:
@@ -151,9 +166,38 @@ class HopkinsImaging:
             )
             self.weights = weights
             self.tcc_trace = tcc_trace
-            self._kernel_stack = ad.Tensor(kernels)  # (Q, N, N), fftfreq order
+            self._base_kernel_stack = ad.Tensor(kernels)  # (Q, N, N), fftfreq
+        self._kernel_stack = self._defocused_kernels(self.defocus_nm)
         self.num_kernels = self._kernel_stack.shape[0]
         self._weight_tensor = ad.Tensor(self.weights)
+        #: Per-focus kernel-stack memo for the condition axis.
+        self._condition_memo: dict = {float(self.defocus_nm): self._kernel_stack}
+
+    def _defocused_kernels(self, defocus_nm: float) -> "ad.Tensor":
+        """In-focus SOCS kernels phased to ``defocus_nm`` (exact, see class
+        docstring); zero defocus shares the cached base stack."""
+        if defocus_nm == 0.0:
+            return self._base_kernel_stack
+        from .pupil import defocus_phase
+
+        phase = defocus_phase(self.config, defocus_nm)
+        return ad.Tensor(self._base_kernel_stack.data * phase[None, :, :])
+
+    def condition_kernels(self, focus_values):
+        """Per-focus SOCS kernel tensors (memoized phase multiplies,
+        bounded by ``CONDITION_MEMO_MAX``)."""
+        out = []
+        for focus in focus_values:
+            focus = float(focus)
+            if focus not in self._condition_memo:
+                if len(self._condition_memo) >= CONDITION_MEMO_MAX:
+                    for key in self._condition_memo:
+                        if key != self.defocus_nm:
+                            del self._condition_memo[key]
+                            break
+                self._condition_memo[focus] = self._defocused_kernels(focus)
+            out.append(self._condition_memo[focus])
+        return out
 
     def aerial(self, mask: ad.Tensor, source: Optional[ad.Tensor] = None) -> ad.Tensor:
         """Aerial image I = sum_q kappa_q |IFFT(Phi_q * FFT(M))|^2 (Eq. (4)).
@@ -190,6 +234,66 @@ class HopkinsImaging:
             tiles, self._kernel_stack.data, self.weights, 1.0
         )
         return out[0] if single else out
+
+    # ------------------------------------------------------------------
+    # process-condition axis
+    # ------------------------------------------------------------------
+    def aerial_conditions(
+        self,
+        mask: ad.Tensor,
+        source: Optional[ad.Tensor] = None,
+        focus_values=(0.0,),
+    ) -> ad.Tensor:
+        """Aerial stack across focus conditions: ``(F, B, N, N)``.
+
+        One fused ``incoherent_image_stack`` node over the per-focus
+        phased SOCS kernel stacks, sharing a single mask-spectrum FFT.
+        ``source`` must be None (baked into the TCC); SOCS kernels carry
+        no ``+/-sigma`` pairing, so no ``conj_pairs`` are passed.
+        ``fused=False`` engines build the composed-op reference graph
+        instead (one :func:`incoherent_image_composed` per focus,
+        scattered into the condition stack) — the same A/B oracle
+        switch as :meth:`aerial`.
+        """
+        if source is not None:
+            raise ValueError(
+                "HopkinsImaging bakes the source into the TCC; "
+                "rebuild the engine to change it"
+            )
+        kernels = self.condition_kernels(focus_values)
+        if not self.fused:
+            aerials = [
+                F.incoherent_image_composed(mask, kern, self._weight_tensor)
+                for kern in kernels
+            ]
+            shape = (len(aerials),) + aerials[0].shape
+            total = None
+            for fi, aerial in enumerate(aerials):
+                part = F.scatter(aerial, fi, shape)
+                total = part if total is None else F.add(total, part)
+            return total
+        return F.incoherent_image_stack(mask, kernels, self._weight_tensor)
+
+    def aerial_conditions_fast(
+        self,
+        mask: MaskLike,
+        source: Optional[MaskLike] = None,
+        focus_values=(0.0,),
+    ) -> np.ndarray:
+        """Graph-free condition-axis forward (inference/judge path)."""
+        if source is not None:
+            raise ValueError(
+                "HopkinsImaging bakes the source into the TCC; "
+                "rebuild the engine to change it"
+            )
+        tiles, single = as_tile_batch(mask, self.config.mask_size)
+        out = np.stack(
+            [
+                incoherent_sum_fast(tiles, kern.data, self.weights, 1.0)
+                for kern in self.condition_kernels(focus_values)
+            ]
+        )
+        return out[:, 0] if single else out
 
     @property
     def truncation_energy(self) -> float:

@@ -13,10 +13,18 @@ from typing import Tuple
 
 import numpy as np
 
+from typing import Optional
+
 from .config import OpticalConfig
 from .source import SourceGrid
 
-__all__ = ["pupil", "shifted_pupil_stack", "defocus_phase", "defocused_pupil_stack"]
+__all__ = [
+    "pupil",
+    "shifted_pupil_stack",
+    "defocus_phase",
+    "defocused_pupil_stack",
+    "conj_pair_indices",
+]
 
 
 def pupil(config: OpticalConfig) -> np.ndarray:
@@ -55,9 +63,17 @@ def defocus_phase(config: OpticalConfig, defocus_nm: float) -> np.ndarray:
     """Paraxial defocus phase factor exp(-i pi lambda z (f^2 + g^2)).
 
     Multiplying the pupil by this complex factor models a wafer-plane
-    focus offset of ``defocus_nm`` (Fresnel approximation).  Used by the
-    focus-corner process-window extension; the paper's PVB uses dose
-    corners only.
+    focus offset of ``defocus_nm`` (Fresnel approximation).  This is the
+    focus axis of the process-window subsystem: every focus value of a
+    :class:`repro.optics.config.ProcessWindow` images through one such
+    defocused pupil stack (cached per focus in
+    :mod:`repro.optics.cache` and streamed through the fused
+    ``incoherent_image_stack`` primitive); the paper's own PVB (Eq. (8))
+    uses the dose corners only, which share the zero-defocus pass.
+
+    Note the phase is *even* in (f, g): frequency reversal leaves it
+    unchanged, so the ``+/-sigma`` structural pairing of the shifted
+    pupils survives defocus (see :func:`conj_pair_indices`).
     """
     fx, fy = config.freq_grid()
     phase = -np.pi * config.wavelength_nm * defocus_nm * (fx**2 + fy**2)
@@ -72,3 +88,45 @@ def defocused_pupil_stack(
     if defocus_nm == 0.0:
         return stack, valid_index
     return stack * defocus_phase(config, defocus_nm)[None, :, :], valid_index
+
+
+def conj_pair_indices(
+    stack: np.ndarray, valid_index, grid: SourceGrid
+) -> Optional[np.ndarray]:
+    """Frequency-reversal pairing of a shifted pupil stack, if usable.
+
+    The source grid is point-symmetric, so the pupil shifted by
+    ``sigma`` is the frequency reversal of the one shifted by
+    ``-sigma`` — the structure the fused primitives exploit to evaluate
+    only one coherent field per ``+/-sigma`` pair on real masks.  The
+    candidate pairing (from the source coordinates) is verified against
+    the actual pupil samples, so asymmetric custom stacks simply opt
+    out (``None``).  Complex (defocused) stacks also return ``None``:
+    the *structural* pairing survives defocus (the defocus phase is
+    even in frequency), but the conjugate *field* identity
+    ``F_{-sigma} = conj(F_{+sigma})`` needs real kernels, so streaming
+    cannot halve the FFT work there.
+    """
+    from . import fftlib
+
+    if np.iscomplexobj(stack):
+        return None
+    rows, cols = valid_index
+    sx = grid.sigma_x[rows, cols]
+    sy = grid.sigma_y[rows, cols]
+    index = {
+        (round(float(x), 9), round(float(y), 9)): i
+        for i, (x, y) in enumerate(zip(sx, sy))
+    }
+    pairs = np.empty(sx.size, dtype=np.intp)
+    for i, (x, y) in enumerate(zip(sx, sy)):
+        j = index.get((round(float(-x), 9), round(float(-y), 9)))
+        if j is None:
+            return None
+        pairs[i] = j
+    # Pupils are exact 0/1 indicators, so the reversal identity can
+    # be checked bitwise (one-time cost per build).
+    reps = np.nonzero(pairs > np.arange(pairs.size))[0]
+    if not np.array_equal(stack[pairs[reps]], fftlib.freq_reverse(stack[reps])):
+        return None
+    return pairs

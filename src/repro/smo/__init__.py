@@ -11,11 +11,14 @@ from .parametrization import (
     source_from_theta,
 )
 from .objective import (
+    ROBUST_MODES,
     AbbeSMOObjective,
     BatchedSMOObjective,
     HopkinsMOObjective,
     LoopedSMOObjective,
+    ProcessWindowSMOObjective,
     dose_resist,
+    robust_corner_loss,
     smo_loss_from_aerial,
 )
 from .state import IterationRecord, SMOResult
@@ -44,7 +47,10 @@ __all__ = [
     "BatchedSMOObjective",
     "HopkinsMOObjective",
     "LoopedSMOObjective",
+    "ProcessWindowSMOObjective",
+    "ROBUST_MODES",
     "dose_resist",
+    "robust_corner_loss",
     "smo_loss_from_aerial",
     "IterationRecord",
     "SMOResult",

@@ -22,8 +22,13 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
-from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective, BatchedSMOObjective, HopkinsMOObjective
+from ..optics import OpticalConfig, ProcessWindow
+from .objective import (
+    AbbeSMOObjective,
+    BatchedSMOObjective,
+    HopkinsMOObjective,
+    ProcessWindowSMOObjective,
+)
 from .parametrization import init_theta_mask, init_theta_source, source_from_theta
 from .state import IterationRecord, SMOResult
 
@@ -51,6 +56,12 @@ class AMSMO:
     objective:
         Optional pre-built SMO objective (single-tile or batched);
         overrides the default built from ``target``.
+    process_window:
+        Optional :class:`repro.optics.ProcessWindow`: both phases then
+        alternate on the robust dose x focus loss
+        (:class:`ProcessWindowSMOObjective` for the Abbe phases, the
+        windowed :class:`HopkinsMOObjective` for the Hopkins MO phase);
+        ``robust`` / ``robust_tau`` select the corner reduction.
     """
 
     def __init__(
@@ -67,6 +78,9 @@ class AMSMO:
         mo_optimizer: str = "adam",
         num_kernels: Optional[int] = None,
         objective: Optional[AbbeSMOObjective] = None,
+        process_window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
         if mode not in ("abbe-abbe", "abbe-hopkins"):
             raise ValueError(f"unknown AM-SMO mode {mode!r}")
@@ -81,8 +95,15 @@ class AMSMO:
         self.lr_so = lr_so
         self.lr_mo = lr_mo
         self.num_kernels = num_kernels
+        self.process_window = process_window
+        self.robust = robust
+        self.robust_tau = robust_tau
         if objective is not None:
             self.objective = objective
+        elif process_window is not None:
+            self.objective = ProcessWindowSMOObjective(
+                config, self.target, process_window, robust=robust, tau=robust_tau
+            )
         elif self.target.ndim == 3:
             self.objective = BatchedSMOObjective(config, self.target)
         else:
@@ -146,7 +167,15 @@ class AMSMO:
                 with ad.no_grad():
                     source = source_from_theta(ad.Tensor(theta_j), cfg).data
                 t0 = time.perf_counter()
-                hop = HopkinsMOObjective(cfg, self.target, source, self.num_kernels)
+                hop = HopkinsMOObjective(
+                    cfg,
+                    self.target,
+                    source,
+                    self.num_kernels,
+                    window=self.process_window,
+                    robust=self.robust,
+                    robust_tau=self.robust_tau,
+                )
                 tcc_seconds += time.perf_counter() - t0
                 for _ in range(self.mo_steps):
                     t0 = time.perf_counter()

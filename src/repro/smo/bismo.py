@@ -38,8 +38,12 @@ import numpy as np
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from ..opt import make_optimizer
-from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective, BatchedSMOObjective
+from ..optics import OpticalConfig, ProcessWindow
+from .objective import (
+    AbbeSMOObjective,
+    BatchedSMOObjective,
+    ProcessWindowSMOObjective,
+)
 from .parametrization import init_theta_mask, init_theta_source
 from .state import IterationRecord, SMOResult
 
@@ -204,6 +208,13 @@ class BiSMO:
         ``"exact"`` (double backward) or ``"fd"`` (finite differences).
     damping:
         Tikhonov damping added to the inner Hessian in the CG solve.
+    process_window:
+        Optional :class:`repro.optics.ProcessWindow`: both bilevel
+        levels then optimize the robust loss across the dose x focus
+        corner grid (:class:`ProcessWindowSMOObjective`; one fused
+        condition stack per evaluation, hypergradients and HVPs flow
+        through the condition axis).  ``robust`` / ``robust_tau`` select
+        the corner reduction (weighted sum or smooth worst case).
     """
 
     def __init__(
@@ -220,11 +231,18 @@ class BiSMO:
         hvp_mode: str = "exact",
         damping: float = 0.0,
         objective: Optional[AbbeSMOObjective] = None,
+        process_window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
         self.config = config
         self.target = np.asarray(target, dtype=np.float64)
         if objective is not None:
             self.objective = objective
+        elif process_window is not None:
+            self.objective = ProcessWindowSMOObjective(
+                config, self.target, process_window, robust=robust, tau=robust_tau
+            )
         elif self.target.ndim == 3:
             self.objective = BatchedSMOObjective(config, self.target)
         else:

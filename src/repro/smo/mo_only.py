@@ -23,8 +23,13 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
-from ..optics import OpticalConfig
-from .objective import AbbeSMOObjective, BatchedSMOObjective, HopkinsMOObjective
+from ..optics import OpticalConfig, ProcessWindow
+from .objective import (
+    AbbeSMOObjective,
+    BatchedSMOObjective,
+    HopkinsMOObjective,
+    ProcessWindowSMOObjective,
+)
 from .parametrization import init_theta_mask, init_theta_source
 from .state import IterationRecord, SMOResult
 
@@ -39,6 +44,11 @@ class AbbeMO:
     ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack;
     a stack optimizes a ``theta_M`` batch jointly through the fused
     multi-tile forward, and records carry per-tile losses.
+
+    ``process_window`` switches the loss to the robust dose x focus
+    reduction across a :class:`repro.optics.ProcessWindow`
+    (:class:`ProcessWindowSMOObjective`); ``robust`` / ``robust_tau``
+    pick weighted-sum or smooth worst-case.
     """
 
     method_name = "Abbe-MO"
@@ -51,11 +61,18 @@ class AbbeMO:
         lr: float = 0.1,
         optimizer: str = "adam",
         objective: Optional[AbbeSMOObjective] = None,
+        process_window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
         self.config = config
         target = np.asarray(target, dtype=np.float64)
         if objective is not None:
             self.objective = objective
+        elif process_window is not None:
+            self.objective = ProcessWindowSMOObjective(
+                config, target, process_window, robust=robust, tau=robust_tau
+            )
         elif target.ndim == 3:
             self.objective = BatchedSMOObjective(config, target)
         else:
@@ -121,9 +138,20 @@ class HopkinsMO:
         lr: float = 0.1,
         optimizer: str = "adam",
         num_kernels: Optional[int] = None,
+        process_window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
         self.config = config
-        self.objective = HopkinsMOObjective(config, target, source, num_kernels)
+        self.objective = HopkinsMOObjective(
+            config,
+            target,
+            source,
+            num_kernels,
+            window=process_window,
+            robust=robust,
+            robust_tau=robust_tau,
+        )
         self._opt = make_optimizer(optimizer, lr)
         self.target = target
 

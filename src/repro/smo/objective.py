@@ -26,23 +26,34 @@ loss nor its backward retains a ``(B, S, N, N)`` field stack.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import functional as F
-from ..optics import ImagingEngine, OpticalConfig, SourceGrid, engine_for
+from ..optics import (
+    ImagingEngine,
+    OpticalConfig,
+    ProcessWindow,
+    SourceGrid,
+    engine_for,
+)
 from ..optics.abbe import AbbeImaging
 from .parametrization import mask_from_theta, source_from_theta
 
 __all__ = [
     "dose_resist",
     "smo_loss_from_aerial",
+    "robust_corner_loss",
+    "robust_tile_losses",
+    "windowed_corner_loss",
     "AbbeSMOObjective",
     "HopkinsMOObjective",
     "BatchedSMOObjective",
     "LoopedSMOObjective",
+    "ProcessWindowSMOObjective",
+    "ROBUST_MODES",
 ]
 
 
@@ -110,6 +121,347 @@ def _tile_losses_from_aerial(
     with ad.no_grad():
         images = _resist_images_fast(aerial, config)
     return _tile_loss_vector(images, targets, config)
+
+
+# ----------------------------------------------------------------------
+# process-window robustness: corner losses + robust reductions
+# ----------------------------------------------------------------------
+#: Supported robust reductions across process corners.
+ROBUST_MODES = ("sum", "max")
+
+
+def _corner_loss_terms(
+    aerials: Sequence[ad.Tensor],
+    target: ad.Tensor,
+    window: ProcessWindow,
+    config: OpticalConfig,
+) -> Tuple[List[ad.Tensor], np.ndarray]:
+    """Per-corner squared-error scalars from per-focus aerial images.
+
+    ``aerials[i]`` is the (differentiable) aerial image at the window's
+    i-th distinct focus value; each corner applies its exact post-aerial
+    ``dose**2`` scaling through :func:`dose_resist` and contributes
+    ``L_c = || Z_c - Z_t ||^2``.  Returns the list of C scalar loss
+    tensors plus the ``(C, B)`` per-tile loss matrix (harvested from the
+    already-computed resist data at no extra imaging cost).
+    """
+    fidx = window.focus_index()
+    losses: List[ad.Tensor] = []
+    matrix_rows = []
+    for ci, corner in enumerate(window.corners):
+        z = dose_resist(aerials[int(fidx[ci])], config, corner.dose)
+        sq = F.power(F.sub(z, target), 2.0)
+        losses.append(F.sum(sq))
+        d = sq.data
+        matrix_rows.append(
+            d.sum(axis=(-2, -1)).reshape(-1) if d.ndim == 3 else [d.sum()]
+        )
+    return losses, np.asarray(matrix_rows, dtype=np.float64)
+
+
+def robust_corner_loss(
+    corner_losses: Sequence[ad.Tensor],
+    window: ProcessWindow,
+    robust: str = "sum",
+    tau: float = 1.0,
+) -> ad.Tensor:
+    """Reduce per-corner scalar losses to one robust objective.
+
+    * ``"sum"`` — the weighted sum ``sum_c w_c L_c``.  With the paper's
+      window (:meth:`ProcessWindow.from_config`) this *is* the classic
+      ``gamma * L2 + eta * L_pvb`` loss.
+    * ``"max"`` — the smooth worst case ``tau * log sum_c w_c
+      exp(L_c / tau)``: a log-sum-exp upper bound on the (weighted) worst
+      corner that stays differentiable.  Evaluated with the standard
+      constant max-shift, which leaves value and all derivatives exact.
+      Smaller ``tau`` tracks the hard max more tightly; ``tau`` is in
+      loss units.
+    """
+    if robust not in ROBUST_MODES:
+        raise ValueError(f"unknown robust mode {robust!r}; choose {ROBUST_MODES}")
+    weights = window.weights
+    if robust == "sum":
+        total: Optional[ad.Tensor] = None
+        for loss, w in zip(corner_losses, weights):
+            term = F.mul(loss, float(w))
+            total = term if total is None else F.add(total, term)
+        assert total is not None
+        return total
+    if tau <= 0.0:
+        raise ValueError(f"tau must be positive; got {tau}")
+    shift = max(float(loss.data) for loss in corner_losses)
+    acc: Optional[ad.Tensor] = None
+    for loss, w in zip(corner_losses, weights):
+        term = F.mul(F.exp(F.div(F.sub(loss, shift), float(tau))), float(w))
+        acc = term if acc is None else F.add(acc, term)
+    assert acc is not None
+    return F.add(F.mul(F.log(acc), float(tau)), shift)
+
+
+def robust_tile_losses(
+    matrix: np.ndarray, window: ProcessWindow, robust: str = "sum", tau: float = 1.0
+) -> np.ndarray:
+    """Per-tile robust losses ``(B,)`` from a ``(C, B)`` corner matrix."""
+    w = window.weights
+    if robust == "sum":
+        return w @ matrix
+    shift = matrix.max(axis=0)
+    return tau * np.log(
+        (w[:, None] * np.exp((matrix - shift) / tau)).sum(axis=0)
+    ) + shift
+
+
+def windowed_corner_loss(
+    engine: ImagingEngine,
+    config: OpticalConfig,
+    mask: ad.Tensor,
+    target: ad.Tensor,
+    window: ProcessWindow,
+    robust: str = "sum",
+    tau: float = 1.0,
+    source: Optional[ad.Tensor] = None,
+) -> Tuple[ad.Tensor, np.ndarray]:
+    """One fused condition-axis evaluation of a robust window loss.
+
+    The single shared implementation behind every windowed objective
+    (:class:`ProcessWindowSMOObjective`, the windowed
+    :class:`HopkinsMOObjective`, the robust NILT baseline): one
+    ``engine.aerial_conditions`` stack (shared mask spectrum across
+    focus values), per-corner ``dose**2`` resists, and the robust
+    reduction.  Pass ``source=None`` for baked-source (Hopkins)
+    engines.  Returns ``(robust_loss, corner_matrix)`` with the matrix
+    shaped ``(C, B)``.
+    """
+    focus = window.focus_values()
+    stack = engine.aerial_conditions(mask, source, focus)
+    aerials = [F.getitem(stack, fi) for fi in range(len(focus))]
+    losses, matrix = _corner_loss_terms(aerials, target, window, config)
+    return robust_corner_loss(losses, window, robust, tau), matrix
+
+
+class ProcessWindowSMOObjective:
+    """Robust SMO loss across a dose x focus :class:`ProcessWindow`.
+
+    The condition-axis counterpart of :class:`AbbeSMOObjective` /
+    :class:`BatchedSMOObjective`: one evaluation images every distinct
+    focus value of the window through the engine's fused
+    ``aerial_conditions`` stack (a single mask-spectrum FFT shared by
+    all conditions), applies each corner's exact ``dose**2`` scaling in
+    the resist model, and reduces the per-corner losses with
+    :func:`robust_corner_loss`.  With the default window
+    (:meth:`ProcessWindow.from_config`) and ``robust="sum"`` this equals
+    the classic SMO loss exactly.
+
+    ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack
+    (joint multi-clip robust SMO — per-tile robust losses ride every
+    iteration record, and the ``(C, B)`` corner matrix is stashed on
+    ``last_corner_losses`` for the harness report).  Differentiable in
+    both parameters, including the second-order products BiSMO needs
+    (the stack primitive's ``create_graph`` fallback), and exposes the
+    FFT-free ``source_only_loss`` inner oracle through per-focus
+    intensity bases.
+    """
+
+    def __init__(
+        self,
+        config: OpticalConfig,
+        target: np.ndarray,
+        window: Optional[ProcessWindow] = None,
+        engine: Optional[ImagingEngine] = None,
+        robust: str = "sum",
+        tau: float = 1.0,
+        reduction: str = "sum",
+    ):
+        if robust not in ROBUST_MODES:
+            raise ValueError(
+                f"unknown robust mode {robust!r}; choose {ROBUST_MODES}"
+            )
+        if reduction not in ("sum", "mean"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        target = np.asarray(target, dtype=np.float64)
+        n = config.mask_size
+        if target.ndim not in (2, 3) or target.shape[-2:] != (n, n):
+            raise ValueError(
+                f"target must be ({n}, {n}) or (B, {n}, {n}); got {target.shape}"
+            )
+        self.config = config
+        self.window = window or ProcessWindow.from_config(config)
+        self.robust = robust
+        self.tau = float(tau)
+        self.reduction = reduction
+        self._batched = target.ndim == 3
+        self.num_tiles = target.shape[0] if self._batched else 1
+        self.target = self.targets = ad.Tensor(target)
+        self.engine = engine or engine_for(config, "abbe")
+        if not hasattr(self.engine, "source_weights"):
+            raise ValueError(
+                "ProcessWindowSMOObjective needs a source-differentiable "
+                "engine (the loss is a function of theta_J); for "
+                "baked-source Hopkins engines use "
+                "HopkinsMOObjective(..., window=...) instead"
+            )
+        #: ``(C, B)`` per-corner / per-tile loss matrix of the latest
+        #: :meth:`loss` call (C follows ``window.corners`` order).
+        self.last_corner_losses: Optional[np.ndarray] = None
+        #: Per-tile robust loss vector of the latest call (batched only).
+        self.last_tile_losses: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _check_theta_m(self, theta_m) -> None:
+        if self._batched and (
+            theta_m.ndim != 3 or theta_m.shape[0] != self.num_tiles
+        ):
+            raise ValueError(
+                f"theta_m must be ({self.num_tiles}, N, N); got {theta_m.shape}"
+            )
+
+    def _reduce(self, total: ad.Tensor, matrix: np.ndarray) -> ad.Tensor:
+        self.last_corner_losses = matrix
+        self.last_tile_losses = (
+            robust_tile_losses(matrix, self.window, self.robust, self.tau)
+            if self._batched
+            else None
+        )
+        if self.reduction == "mean":
+            total = F.div(total, float(self.num_tiles))
+        return total
+
+    def loss(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
+        """Robust L_smo across the window (one fused condition stack)."""
+        self._check_theta_m(theta_m)
+        source = source_from_theta(theta_j, self.config)
+        mask = mask_from_theta(theta_m, self.config)
+        total, matrix = windowed_corner_loss(
+            self.engine,
+            self.config,
+            mask,
+            self.target,
+            self.window,
+            self.robust,
+            self.tau,
+            source=source,
+        )
+        return self._reduce(total, matrix)
+
+    def loss_reference(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
+        """Per-focus reference loop: one independent imaging pass per
+        distinct focus value (no shared mask spectrum, no fused stack).
+
+        The parity/benchmark oracle for :meth:`loss` — mathematically
+        identical, structurally the pre-condition-axis consumer pattern.
+        It evaluates *this objective's engine* (its pupil stacks and
+        source grid), so parity holds for custom engines too.
+        """
+        self._check_theta_m(theta_m)
+        source = source_from_theta(theta_j, self.config)
+        mask = mask_from_theta(theta_m, self.config)
+        j = self.engine.source_weights(source)
+        jn = F.div(j, F.add(F.sum(j), 1e-12))
+        aerials = [
+            F.incoherent_image(mask, stack, jn, conj_pairs=pairs)
+            for stack, pairs in self.engine.condition_stacks(
+                self.window.focus_values()
+            )
+        ]
+        losses, matrix = _corner_loss_terms(
+            aerials, self.target, self.window, self.config
+        )
+        total = robust_corner_loss(losses, self.window, self.robust, self.tau)
+        return self._reduce(total, matrix)
+
+    # ------------------------------------------------------------------
+    def corner_loss_matrix(
+        self, theta_j: np.ndarray, theta_m: np.ndarray
+    ) -> np.ndarray:
+        """``(C, B)`` per-corner / per-tile losses via the fast path.
+
+        Derived from the :meth:`images` resist stack so the per-corner
+        loss definition lives in one place.
+        """
+        resists = self.images(theta_j, theta_m)["corner_resists"]
+        sq = (resists - self.target.data) ** 2
+        return sq.sum(axis=(-2, -1)).reshape(self.window.num_corners, -1)
+
+    def source_only_loss(self, theta_m: np.ndarray):
+        """FFT-free robust source-only closure at fixed ``theta_M``.
+
+        Extends ``BatchedSMOObjective.source_only_loss`` across the
+        condition axis: Abbe's aerial is linear in the normalized source
+        weights at *every* focus, so one intensity basis per distinct
+        focus value makes the whole robust loss an FFT-free function of
+        ``theta_J`` — the cheap inner-SO / inner-Hessian oracle BiSMO
+        uses.  Returns ``None`` for custom engines that do not expose an
+        intensity basis.
+        """
+        engine = self.engine
+        if not (
+            hasattr(engine, "source_intensity_basis")
+            and hasattr(engine, "aerial_from_basis")
+            and hasattr(engine, "condition_stacks")
+        ):
+            return None
+        with ad.no_grad():
+            masks = mask_from_theta(ad.Tensor(theta_m), self.config).data
+        bases = [
+            ad.Tensor(engine.source_intensity_basis(masks, stack.data))
+            for stack, _ in engine.condition_stacks(self.window.focus_values())
+        ]
+
+        def loss_j(theta_j: ad.Tensor) -> ad.Tensor:
+            source = source_from_theta(theta_j, self.config)
+            aerials = [
+                engine.aerial_from_basis(basis, source) for basis in bases
+            ]
+            losses, matrix = _corner_loss_terms(
+                aerials, self.target, self.window, self.config
+            )
+            total = robust_corner_loss(losses, self.window, self.robust, self.tau)
+            if self.reduction == "mean":
+                total = F.div(total, float(self.num_tiles))
+            return total
+
+        return loss_j
+
+    def images(
+        self, theta_j: np.ndarray, theta_m: np.ndarray
+    ) -> Dict[str, np.ndarray]:
+        """Nominal-dose images plus the full per-corner resist stack.
+
+        The nominal keys (``aerial``/``resist``/``resist_min``/
+        ``resist_max``) match :class:`AbbeSMOObjective.images` so every
+        downstream consumer (harness judge, metrics) keeps working:
+        they are evaluated at the window's focus value *closest to
+        zero* (exactly the in-focus condition whenever the window
+        contains one) and at the config's nominal/min/max doses;
+        ``corner_resists`` adds the ``(C, [B,] N, N)`` stack across the
+        window's actual corners and ``corner_aerials`` the per-focus
+        aerial stack.
+        """
+        with ad.no_grad():
+            source = source_from_theta(ad.Tensor(theta_j), self.config).data
+            mask = mask_from_theta(ad.Tensor(theta_m), self.config).data
+        focus = self.window.focus_values()
+        stack = self.engine.aerial_conditions_fast(mask, source, focus)
+        nominal_fi = int(np.argmin(np.abs(np.asarray(focus))))
+        images = _resist_images_fast(stack[nominal_fi], self.config)
+        fidx = self.window.focus_index()
+        with ad.no_grad():
+            corner_resists = np.stack(
+                [
+                    dose_resist(
+                        ad.Tensor(stack[int(fidx[ci])]), self.config, c.dose
+                    ).data
+                    for ci, c in enumerate(self.window.corners)
+                ]
+            )
+        images.update(
+            source=source,
+            mask=mask,
+            target=self.target.data,
+            corner_aerials=stack,
+            corner_resists=corner_resists,
+        )
+        return images
 
 
 class AbbeSMOObjective:
@@ -181,6 +533,14 @@ class HopkinsMOObjective:
     a stack makes the objective joint over the batch (``theta_m`` must
     then be a matching ``(B, N, N)`` parameter stack and the loss is the
     sum over tiles, riding the engine's fused multi-tile forward).
+
+    ``window`` switches the loss to the robust dose x focus reduction of
+    :func:`robust_corner_loss` across a :class:`ProcessWindow`: focus
+    corners ride the engine's fused ``aerial_conditions`` stack (the
+    defocused SOCS kernels are exact phase multiplies of the in-focus
+    decomposition — no TCC rebuild), dose corners share each focus
+    pass.  ``robust`` / ``robust_tau`` pick weighted-sum or smooth
+    worst-case.
     """
 
     def __init__(
@@ -191,7 +551,14 @@ class HopkinsMOObjective:
         num_kernels: Optional[int] = None,
         source_grid: Optional[SourceGrid] = None,
         engine: Optional[ImagingEngine] = None,
+        window: Optional[ProcessWindow] = None,
+        robust: str = "sum",
+        robust_tau: float = 1.0,
     ):
+        if robust not in ROBUST_MODES:
+            raise ValueError(
+                f"unknown robust mode {robust!r}; choose {ROBUST_MODES}"
+            )
         self.config = config
         target = np.asarray(target, dtype=np.float64)
         n = config.mask_size
@@ -204,9 +571,14 @@ class HopkinsMOObjective:
         self.target = ad.Tensor(target)
         self._source_grid = source_grid
         self._num_kernels = num_kernels
+        self.window = window
+        self.robust = robust
+        self.robust_tau = float(robust_tau)
         self.engine = engine or self._build_engine(source)
         #: Per-tile losses of the latest :meth:`loss` call (batched only).
         self.last_tile_losses: Optional[np.ndarray] = None
+        #: ``(C, B)`` corner/tile matrix of the latest windowed call.
+        self.last_corner_losses: Optional[np.ndarray] = None
 
     def _build_engine(self, source: np.ndarray) -> ImagingEngine:
         if self._source_grid is not None:
@@ -231,6 +603,22 @@ class HopkinsMOObjective:
                 f"theta_m must be ({self.num_tiles}, N, N); got {theta_m.shape}"
             )
         mask = mask_from_theta(theta_m, self.config)
+        if self.window is not None:
+            total, matrix = windowed_corner_loss(
+                self.engine,
+                self.config,
+                mask,
+                self.target,
+                self.window,
+                self.robust,
+                self.robust_tau,
+            )
+            self.last_corner_losses = matrix
+            if self._batched:
+                self.last_tile_losses = robust_tile_losses(
+                    matrix, self.window, self.robust, self.robust_tau
+                )
+            return total
         aerial = self.engine.aerial(mask)
         if self._batched:
             self.last_tile_losses = _tile_losses_from_aerial(

@@ -1,0 +1,154 @@
+"""Defocus pupil tests: Fresnel phase sign/scale, zero-defocus identity,
+and the conjugate-pair structure that the fused condition-axis streaming
+relies on (the structural pairing survives defocus, the conjugate field
+identity does not — engines must opt out of pairing on complex stacks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optics import (
+    AbbeImaging,
+    OpticalConfig,
+    SourceGrid,
+    conj_pair_indices,
+    defocus_phase,
+    defocused_pupil_stack,
+    shifted_pupil_stack,
+    fftlib,
+)
+from repro.optics import cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    cache.clear()
+    yield
+    cache.clear()
+
+
+class TestDefocusPhase:
+    def test_matches_fresnel_formula(self, tiny_config):
+        """exp(-i pi lambda z (f^2 + g^2)) from first principles."""
+        z = 75.0
+        f = np.fft.fftfreq(tiny_config.mask_size, d=tiny_config.pixel_nm)
+        fx, fy = np.meshgrid(f, f, indexing="xy")
+        expected = np.exp(
+            -1j * np.pi * tiny_config.wavelength_nm * z * (fx**2 + fy**2)
+        )
+        np.testing.assert_allclose(
+            defocus_phase(tiny_config, z), expected, atol=1e-14
+        )
+
+    def test_unit_magnitude(self, tiny_config):
+        """A pure aberration phase: |D| == 1 everywhere, any defocus."""
+        for z in (-120.0, 33.3, 500.0):
+            np.testing.assert_allclose(
+                np.abs(defocus_phase(tiny_config, z)), 1.0, atol=1e-14
+            )
+
+    def test_zero_defocus_is_identity(self, tiny_config):
+        np.testing.assert_array_equal(
+            defocus_phase(tiny_config, 0.0),
+            np.ones((tiny_config.mask_size,) * 2, dtype=complex),
+        )
+
+    def test_sign_convention_conjugate_for_negative_z(self, tiny_config):
+        """D(-z) = conj(D(z)): through-focus symmetry of the phase."""
+        np.testing.assert_allclose(
+            defocus_phase(tiny_config, -60.0),
+            np.conj(defocus_phase(tiny_config, 60.0)),
+            atol=1e-14,
+        )
+
+    def test_even_in_frequency(self, tiny_config):
+        """D(-f) == D(f): the property that preserves the +/-sigma
+        structural pairing under defocus."""
+        d = defocus_phase(tiny_config, 90.0)
+        np.testing.assert_array_equal(d, fftlib.freq_reverse(d))
+
+
+class TestDefocusedPupilStack:
+    def test_zero_defocus_identity(self, tiny_config):
+        """defocus_nm=0 returns the plain (real) shifted stack."""
+        grid = SourceGrid.from_config(tiny_config)
+        ref, ref_idx = shifted_pupil_stack(tiny_config, grid)
+        stack, idx = defocused_pupil_stack(tiny_config, grid, 0.0)
+        assert not np.iscomplexobj(stack)
+        np.testing.assert_array_equal(stack, ref)
+        for a, b in zip(idx, ref_idx):
+            np.testing.assert_array_equal(a, b)
+
+    def test_is_shifted_stack_times_phase(self, tiny_config):
+        grid = SourceGrid.from_config(tiny_config)
+        base, _ = shifted_pupil_stack(tiny_config, grid)
+        z = 80.0
+        stack, _ = defocused_pupil_stack(tiny_config, grid, z)
+        np.testing.assert_allclose(
+            stack, base * defocus_phase(tiny_config, z)[None], atol=1e-14
+        )
+
+    def test_magnitude_is_pupil_indicator(self, tiny_config):
+        """Defocus is a pure phase: |stack| is the 0/1 pupil indicator."""
+        grid = SourceGrid.from_config(tiny_config)
+        base, _ = shifted_pupil_stack(tiny_config, grid)
+        stack, _ = defocused_pupil_stack(tiny_config, grid, 150.0)
+        np.testing.assert_allclose(np.abs(stack), base, atol=1e-13)
+
+
+class TestConjugatePairing:
+    def test_in_focus_pairing_verified(self, tiny_config):
+        grid = SourceGrid.from_config(tiny_config)
+        stack, idx = shifted_pupil_stack(tiny_config, grid)
+        pairs = conj_pair_indices(stack, idx, grid)
+        assert pairs is not None
+        # Involution with the frequency-reversal identity, bitwise.
+        np.testing.assert_array_equal(pairs[pairs], np.arange(pairs.size))
+        np.testing.assert_array_equal(
+            stack[pairs], fftlib.freq_reverse(stack)
+        )
+
+    def test_structural_pairing_survives_defocus(self, tiny_config):
+        """K_{pair(s)}(f) == K_s(-f) still holds for the complex stack:
+        the defocus phase is even, so frequency reversal maps the
+        defocused pupil at +sigma onto the one at -sigma exactly."""
+        grid = SourceGrid.from_config(tiny_config)
+        base, idx = shifted_pupil_stack(tiny_config, grid)
+        pairs = conj_pair_indices(base, idx, grid)
+        stack, _ = defocused_pupil_stack(tiny_config, grid, 65.0)
+        np.testing.assert_array_equal(stack[pairs], fftlib.freq_reverse(stack))
+
+    def test_complex_stack_opts_out_of_field_pairing(self, tiny_config):
+        """conj_pair_indices refuses complex stacks: F_{-sigma} =
+        conj(F_{+sigma}) needs real kernels, so defocused engines must
+        not stream half the pairs."""
+        grid = SourceGrid.from_config(tiny_config)
+        stack, idx = defocused_pupil_stack(tiny_config, grid, 65.0)
+        assert conj_pair_indices(stack, idx, grid) is None
+        engine = AbbeImaging(tiny_config, defocus_nm=65.0)
+        assert engine._conj_pairs is None
+
+    def test_fused_streaming_stays_valid_under_defocus(
+        self, tiny_config, tiny_source
+    ):
+        """A defocused engine (pairing opted out) matches the per-point
+        reference loop — the fused path is exact whether or not the
+        half-FFT pairing is available."""
+        import repro.autodiff as ad
+
+        engine = AbbeImaging(tiny_config, defocus_nm=65.0)
+        rng = np.random.default_rng(5)
+        mask = rng.random((tiny_config.mask_size,) * 2)
+        with ad.no_grad():
+            fused = engine.aerial(ad.Tensor(mask), ad.Tensor(tiny_source)).data
+            loop = engine.aerial_loop(
+                ad.Tensor(mask), ad.Tensor(tiny_source)
+            ).data
+        np.testing.assert_allclose(fused, loop, atol=1e-12)
+
+    def test_cached_conj_pairs_match_engine(self, tiny_config):
+        pairs = cache.conj_pairs(tiny_config)
+        engine = AbbeImaging(tiny_config)
+        np.testing.assert_array_equal(pairs, engine._conj_pairs)
+        assert cache.conj_pairs(tiny_config, 65.0) is None
