@@ -20,7 +20,11 @@ import numpy as np
 from .. import autodiff as ad
 from ..opt import make_optimizer
 from ..optics import OpticalConfig, ProcessWindow
-from ..smo.objective import HopkinsMOObjective
+from ..smo.objective import (
+    AdaptiveCornerWeights,
+    HopkinsMOObjective,
+    adaptive_corner_update,
+)
 from ..smo.parametrization import init_theta_mask
 from ..smo.state import IterationRecord, SMOResult
 
@@ -66,7 +70,23 @@ class MultiLevelILT:
         self.process_window = process_window
         self.robust = robust
         self.robust_tau = robust_tau
+        # One minimax ascent shared across all refinement levels, so the
+        # dual weights keep their state through each level's objective.
+        self.adaptive_weights = AdaptiveCornerWeights.maybe(
+            process_window, robust, robust_tau
+        )
         self.level_configs = self._valid_levels(config, levels)
+        if process_window is not None and len(self.level_configs) > 1:
+            # Raw phase maps are sampled on the native frequency grid
+            # and cannot follow the coarse levels; fail up front with an
+            # actionable message instead of deep inside condition_kernels.
+            for ab in process_window.conditions():
+                if ab.custom is not None:
+                    raise ValueError(
+                        "multi-level ILT cannot evaluate raw phase-map "
+                        "aberrations on its coarse grids; use Zernike-"
+                        "term specs (grid-independent) or levels=1"
+                    )
 
     @staticmethod
     def _valid_levels(config: OpticalConfig, levels: int) -> List[OpticalConfig]:
@@ -125,6 +145,7 @@ class MultiLevelILT:
                 window=self.process_window,
                 robust=self.robust,
                 robust_tau=self.robust_tau,
+                adaptive_weights=self.adaptive_weights,
             )
             opt = make_optimizer(self.optimizer, self.lr)
             iters = per_level if li < n_levels - 1 else iterations - per_level * (n_levels - 1)
@@ -142,6 +163,7 @@ class MultiLevelILT:
                     else None
                 )
                 theta = opt.step(theta, gm.data)
+                corner_w = adaptive_corner_update(objective)
                 history.append(
                     IterationRecord(
                         step,
@@ -149,6 +171,7 @@ class MultiLevelILT:
                         time.perf_counter() - t0,
                         "mo",
                         tile_losses=tiles,
+                        corner_weights=corner_w,
                     )
                 )
                 step += 1

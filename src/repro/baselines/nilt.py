@@ -22,7 +22,10 @@ from ..autodiff import functional as F
 from ..opt import make_optimizer
 from ..optics import OpticalConfig, ProcessWindow, engine_for
 from ..smo.objective import (
+    AdaptiveCornerWeights,
+    adaptive_corner_update,
     dose_resist,
+    live_corner_weights,
     robust_tile_losses,
     windowed_corner_loss,
 )
@@ -72,6 +75,15 @@ class NILTBaseline:
         self.robust = robust
         self.robust_tau = float(robust_tau)
         self._last_tile_losses: Optional[np.ndarray] = None
+        #: ``(C, B)`` corner matrix of the latest windowed evaluation.
+        self.last_corner_losses: Optional[np.ndarray] = None
+        #: Live minimax corner weights (``robust="adaptive"`` only).
+        self.adaptive_weights = AdaptiveCornerWeights.maybe(
+            process_window, robust, self.robust_tau
+        )
+
+    def _robust_weights(self) -> Optional[np.ndarray]:
+        return live_corner_weights(self.adaptive_weights)
 
     def _loss(self, theta_m: ad.Tensor) -> ad.Tensor:
         mask = mask_from_theta(theta_m, self.config)
@@ -84,10 +96,13 @@ class NILTBaseline:
                 self.window,
                 self.robust,
                 self.robust_tau,
+                weights=self._robust_weights(),
             )
+            self.last_corner_losses = matrix
             if self.target.ndim == 3:
                 self._last_tile_losses = robust_tile_losses(
-                    matrix, self.window, self.robust, self.robust_tau
+                    matrix, self.window, self.robust, self.robust_tau,
+                    weights=self._robust_weights(),
                 )
             return total
         aerial = self.engine.aerial(mask)
@@ -121,6 +136,7 @@ class NILTBaseline:
             (gm,) = ad.grad(loss, [tm])
             tiles = self._last_tile_losses
             theta_m = self._opt.step(theta_m, gm.data)
+            corner_w = adaptive_corner_update(self)
             history.append(
                 IterationRecord(
                     it,
@@ -128,6 +144,7 @@ class NILTBaseline:
                     time.perf_counter() - t0,
                     "mo",
                     tile_losses=tiles,
+                    corner_weights=corner_w,
                 )
             )
         return SMOResult(

@@ -7,6 +7,8 @@ Examples::
     bismo table4 --scale default --clips 2 --joint
     bismo fig3 --dataset ICCAD13 --steps 100
     bismo fig5 --dataset ICCAD13 --clips 3
+    bismo pwindow --pw-focus 0 40 --pw-aberrations Z5=20 Z7=-15 \
+        --robust adaptive
     bismo all --out results/
 """
 
@@ -27,6 +29,16 @@ from .runner import METHOD_ORDER, RunSettings, run_matrix
 from .tables import table3, table4
 
 __all__ = ["main", "build_parser"]
+
+
+def _aberration_spec(text: str) -> dict:
+    """argparse type for --pw-aberrations: parse or fail cleanly."""
+    from ..optics import parse_aberration_spec
+
+    try:
+        return parse_aberration_spec(text)
+    except (KeyError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -101,17 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
         "value costs one imaging pass, dose corners are free",
     )
     pw.add_argument(
+        "--pw-aberrations",
+        nargs="*",
+        default=[],
+        metavar="SPEC",
+        type=_aberration_spec,
+        help="extra pupil-aberration conditions, each a comma-separated "
+        "Zernike spec like 'Z5=20,Z7=-10' (coefficients in nm; Z4 = "
+        "wafer defocus).  Each spec is one more imaging pass crossed "
+        "with every dose corner, on top of the --pw-focus conditions",
+    )
+    pw.add_argument(
         "--robust",
-        choices=["sum", "max"],
+        choices=["sum", "max", "adaptive"],
         default="sum",
-        help="corner reduction: weighted sum or smooth worst-case "
-        "(log-sum-exp)",
+        help="corner reduction: weighted sum, smooth worst-case "
+        "(log-sum-exp), or adaptive minimax corner reweighting "
+        "(exponentiated-gradient ascent on the corner weights)",
     )
     pw.add_argument(
         "--tau",
         type=float,
         default=1.0,
-        help="log-sum-exp temperature for --robust max (loss units)",
+        help="log-sum-exp temperature for --robust max (loss units), or "
+        "the ascent rate for --robust adaptive",
     )
 
     return parser
@@ -158,7 +183,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "pwindow":
-        window = ProcessWindow.from_grid(args.pw_doses, args.pw_focus)
+        window = ProcessWindow.from_grid(
+            args.pw_doses,
+            args.pw_focus,
+            aberrations=args.pw_aberrations,
+        )
         settings = dataclasses.replace(
             _settings(args),
             process_window=window,

@@ -48,6 +48,12 @@ class ProcessWindowRecord:
     robust_loss: float  # the robust reduction of corner_loss
     runtime_s: float = 0.0
     losses: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+    #: Per-corner resist thresholds the judge applied (config default
+    #: unless the corner carries a calibrated override).
+    corner_thresholds: Tuple[float, ...] = ()
+    #: Final adaptive corner weights of the run (``robust="adaptive"``
+    #: solves only; the judge's robust reduction uses them), else None.
+    corner_weights: Optional[np.ndarray] = None
 
 
 def evaluate_process_window(
@@ -63,8 +69,15 @@ def evaluate_process_window(
     Mirrors :func:`repro.harness.evaluate_final` (lossless Abbe judge,
     hard-thresholded mask by default) but sweeps the whole corner grid:
     the per-corner resist images come from one fused condition-axis
-    evaluation (shared mask spectrum across focus values, dose corners
-    free), not C independent simulations.
+    evaluation (shared mask spectrum across the window's pupil
+    conditions — defocus and general Zernike aberrations alike — dose
+    corners free), not C independent simulations.  Per-corner calibrated
+    resist thresholds are honored and reported.  The robust column is
+    reduced under the *settings'* regime (static window weights for
+    ``"sum"`` / ``"max"``) so records judged with one settings object
+    stay comparable across methods; only ``settings.robust="adaptive"``
+    reduces with a run's final minimax weights — which ride the
+    record's ``corner_weights`` either way for inspection.
     """
     cfg = settings.config
     window = window or settings.process_window or ProcessWindow.from_config(cfg)
@@ -95,8 +108,19 @@ def evaluate_process_window(
     # The corner-loss matrix comes straight from the resist stack the
     # judge already imaged — no second condition-axis pass.
     matrix = ((resists - target[None]) ** 2).sum(axis=(-2, -1))[:, None]
+    final_weights = None
+    if result.history and result.history[-1].corner_weights is not None:
+        final_weights = np.asarray(result.history[-1].corner_weights)
+    # The robust column is reduced under the *settings'* regime so rows
+    # judged with one settings object stay comparable: only an
+    # explicitly adaptive judging uses a run's trained final weights
+    # (they ride the record either way for inspection).
+    judge_weights = final_weights if settings.robust == "adaptive" else None
     robust = float(
-        robust_tile_losses(matrix, window, settings.robust, settings.robust_tau)[0]
+        robust_tile_losses(
+            matrix, window, settings.robust, settings.robust_tau,
+            weights=judge_weights,
+        )[0]
     )
     return ProcessWindowRecord(
         method=result.method,
@@ -108,6 +132,8 @@ def evaluate_process_window(
         corner_epe=corner_epe,
         band_nm2=pvb_band_nm2(resists, cfg),
         robust_loss=robust,
+        corner_thresholds=tuple(window.intensity_thresholds(cfg)),
+        corner_weights=final_weights,
     )
 
 

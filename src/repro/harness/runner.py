@@ -83,10 +83,13 @@ class RunSettings:
     terms: int = 5
     cg_damping: float = 1.0
     hvp_mode: str = "exact"
-    #: Optional robust dose x focus condition axis: when set, every
-    #: dispatched solver optimizes the robust corner loss across it
-    #: (``robust`` / ``robust_tau`` pick the reduction) and the
-    #: process-window report judges the same corners.
+    #: Optional robust dose x aberration condition axis: when set, every
+    #: dispatched solver optimizes the robust corner loss across it —
+    #: the window's corners may carry arbitrary Zernike pupil
+    #: aberrations and per-corner resist thresholds — and the
+    #: process-window report judges the same corners.  ``robust`` picks
+    #: the reduction (``"sum"`` / ``"max"`` / ``"adaptive"`` minimax
+    #: ascent); ``robust_tau`` is the LSE temperature or EG rate.
     process_window: Optional["ProcessWindow"] = None
     robust: str = "sum"
     robust_tau: float = 1.0

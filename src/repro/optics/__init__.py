@@ -14,7 +14,19 @@ from .source import (
     dipole,
     quasar,
 )
+from .zernike import (
+    NOLL_INDICES,
+    ZERNIKE_TERMS,
+    PupilAberration,
+    defocus_to_wavefront_nm,
+    parse_aberration_spec,
+    term_parity,
+    wavefront_to_defocus_nm,
+    zernike_polynomial,
+    zernike_radial,
+)
 from .pupil import (
+    aberrated_pupil_stack,
     conj_pair_indices,
     defocus_phase,
     defocused_pupil_stack,
@@ -41,7 +53,17 @@ __all__ = [
     "shifted_pupil_stack",
     "defocus_phase",
     "defocused_pupil_stack",
+    "aberrated_pupil_stack",
     "conj_pair_indices",
+    "PupilAberration",
+    "ZERNIKE_TERMS",
+    "NOLL_INDICES",
+    "zernike_polynomial",
+    "zernike_radial",
+    "term_parity",
+    "parse_aberration_spec",
+    "defocus_to_wavefront_nm",
+    "wavefront_to_defocus_nm",
     "ImagingEngine",
     "as_tile_batch",
     "engine_for",

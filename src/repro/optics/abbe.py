@@ -75,81 +75,90 @@ class AbbeImaging:
         source_grid: Optional[SourceGrid] = None,
         defocus_nm: float = 0.0,
         fused: bool = True,
+        aberration=None,
     ):
+        from .zernike import PupilAberration
+
         config.validate_sampling()
         self.config = config
         self.fused = bool(fused)
-        self.defocus_nm = float(defocus_nm)
+        # The engine's own pupil condition: the legacy defocus knob plus
+        # an optional general aberration spec, canonicalized into one
+        # PupilAberration (Z4 == wafer defocus).
+        own = PupilAberration.coerce(aberration)
+        if float(defocus_nm) != 0.0:
+            own = own.add_defocus(float(defocus_nm))
+        self.aberration = own
+        self.defocus_nm = float(own.defocus_nm)
         self._custom_grid = source_grid is not None
         if source_grid is None:
             from . import cache
 
             self.source_grid = cache.source_grid(config)
             self._pupil_stack, self._valid_index = cache.pupil_stack(
-                config, self.defocus_nm
+                config, own
             )
-            self._conj_pairs = cache.conj_pairs(config, self.defocus_nm)
+            self._conj_pairs = cache.conj_pairs(config, own)
         else:
-            from .pupil import conj_pair_indices
+            from .pupil import aberrated_pupil_stack, conj_pair_indices
 
             self.source_grid = source_grid
-            if self.defocus_nm == 0.0:
-                from .pupil import shifted_pupil_stack
-
-                stack, valid_index = shifted_pupil_stack(config, self.source_grid)
-            else:
-                from .pupil import defocused_pupil_stack
-
-                stack, valid_index = defocused_pupil_stack(
-                    config, self.source_grid, self.defocus_nm
-                )
+            stack, valid_index = aberrated_pupil_stack(
+                config, self.source_grid, own
+            )
             self._pupil_stack = ad.Tensor(stack)
             self._valid_index = valid_index
             self._conj_pairs = conj_pair_indices(
                 stack, valid_index, self.source_grid
             )
         self.num_source_points = self._pupil_stack.shape[0]
-        #: Per-focus (stack, conj_pairs) memo for custom-grid engines
+        #: Per-condition (stack, conj_pairs) memo for custom-grid engines
         #: (cache-backed engines resolve through repro.optics.cache).
         self._condition_memo: dict = {}
 
     # ------------------------------------------------------------------
-    def condition_stacks(self, focus_values):
-        """Per-focus ``(pupil_stack_tensor, conj_pairs)`` pairs.
+    def condition_stacks(self, conditions):
+        """Per-condition ``(pupil_stack_tensor, conj_pairs)`` pairs.
 
         The condition axis of a process window: one entry per distinct
-        focus value, shared through :mod:`repro.optics.cache` (or a
-        per-engine memo when a custom source grid is in play).  Zero
-        defocus keeps its real stack and verified ``+/-sigma`` pairing;
-        defocused stacks are complex and opt out of pairing.
+        pupil aberration, shared through :mod:`repro.optics.cache` (or a
+        per-engine memo when a custom source grid is in play).  Entries
+        of ``conditions`` are anything
+        :meth:`repro.optics.zernike.PupilAberration.coerce` accepts —
+        plain defocus floats keep working.  The null condition keeps its
+        real stack and verified ``+/-sigma`` pairing; aberrated stacks
+        are complex and opt out of pairing.
         """
+        from .zernike import PupilAberration
+
         out = []
-        for focus in focus_values:
-            focus = float(focus)
-            if focus == self.defocus_nm:
+        for condition in conditions:
+            ab = PupilAberration.coerce(condition)
+            if ab.cache_key == self.aberration.cache_key:
                 out.append((self._pupil_stack, self._conj_pairs))
             elif not self._custom_grid:
                 from . import cache
 
-                stack_t, _ = cache.pupil_stack(self.config, focus)
-                out.append((stack_t, cache.conj_pairs(self.config, focus)))
+                stack_t, _ = cache.pupil_stack(self.config, ab)
+                out.append((stack_t, cache.conj_pairs(self.config, ab)))
             else:
-                if focus not in self._condition_memo:
+                key = ab.cache_key
+                if key not in self._condition_memo:
                     from .engine import CONDITION_MEMO_MAX
-                    from .pupil import conj_pair_indices, defocused_pupil_stack
+                    from .pupil import aberrated_pupil_stack, conj_pair_indices
 
                     if len(self._condition_memo) >= CONDITION_MEMO_MAX:
                         # Bounded FIFO: cached engines are shared, so the
-                        # memo must not grow with every focus ever seen.
+                        # memo must not grow with every condition ever seen.
                         del self._condition_memo[next(iter(self._condition_memo))]
-                    stack, valid_index = defocused_pupil_stack(
-                        self.config, self.source_grid, focus
+                    stack, valid_index = aberrated_pupil_stack(
+                        self.config, self.source_grid, ab
                     )
-                    self._condition_memo[focus] = (
+                    self._condition_memo[key] = (
                         ad.Tensor(stack),
                         conj_pair_indices(stack, valid_index, self.source_grid),
                     )
-                out.append(self._condition_memo[focus])
+                out.append(self._condition_memo[key])
         return out
 
     def source_weights(self, source: ad.Tensor) -> ad.Tensor:
@@ -204,27 +213,35 @@ class AbbeImaging:
         self,
         mask: ad.Tensor,
         source: ad.Tensor,
-        focus_values,
+        conditions=(0.0,),
+        *,
+        focus_values=None,
     ) -> ad.Tensor:
-        """Aerial stack across focus conditions: ``(F, B, N, N)``.
+        """Aerial stack across pupil conditions: ``(F, B, N, N)``.
 
         One fused :func:`repro.autodiff.functional.incoherent_image_stack`
-        node evaluates every focus value of a process window against a
-        single shared mask-spectrum FFT; dose corners never reach this
-        layer (dose is an exact post-aerial ``dose**2`` scaling applied
-        by the resist model).  Single ``(N, N)`` masks return
-        ``(F, N, N)``.  Differentiable w.r.t. mask and source exactly
-        like :meth:`aerial` (including second-order products through the
-        primitive's composed-op ``create_graph`` fallback).  As with
-        :meth:`aerial`, ``fused=False`` engines build the composed-op
-        reference graph instead (one :func:`incoherent_image_composed`
-        per focus, scattered into the condition stack).
+        node evaluates every distinct aberration of a process window
+        against a single shared mask-spectrum FFT; dose corners never
+        reach this layer (dose is an exact post-aerial ``dose**2``
+        scaling applied by the resist model).  ``conditions`` entries
+        are defocus floats or any
+        :meth:`repro.optics.zernike.PupilAberration.coerce` argument
+        (``focus_values`` is the legacy keyword alias).  Single
+        ``(N, N)`` masks return ``(F, N, N)``.  Differentiable w.r.t.
+        mask and source exactly like :meth:`aerial` (including
+        second-order products through the primitive's composed-op
+        ``create_graph`` fallback).  As with :meth:`aerial`,
+        ``fused=False`` engines build the composed-op reference graph
+        instead (one :func:`incoherent_image_composed` per condition,
+        scattered into the condition stack).
         """
+        if focus_values is not None:
+            conditions = focus_values
         if source is None:
             raise ValueError("AbbeImaging.aerial_conditions requires a source")
         j = self.source_weights(source)
         jn = F.div(j, F.add(F.sum(j), _EPS))
-        stacks_pairs = self.condition_stacks(focus_values)
+        stacks_pairs = self.condition_stacks(conditions)
         if not self.fused:
             aerials = [
                 F.incoherent_image_composed(mask, stack, jn)
@@ -247,10 +264,14 @@ class AbbeImaging:
         self,
         mask: MaskLike,
         source: MaskLike,
-        focus_values,
+        conditions=(0.0,),
+        *,
+        focus_values=None,
     ) -> np.ndarray:
         """Graph-free condition-axis forward, matching
         :meth:`aerial_conditions` numerically (inference/judge path)."""
+        if focus_values is not None:
+            conditions = focus_values
         if source is None:
             raise ValueError(
                 "AbbeImaging.aerial_conditions_fast requires a source"
@@ -260,7 +281,7 @@ class AbbeImaging:
         tiles, single = as_tile_batch(mask, self.config.mask_size)
         j = src[self._valid_index]
         norm = float(j.sum()) + _EPS
-        stacks_pairs = self.condition_stacks(focus_values)
+        stacks_pairs = self.condition_stacks(conditions)
         out = np.stack(
             [
                 incoherent_sum_fast(tiles, stack.data, j, norm)

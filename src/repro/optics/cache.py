@@ -34,6 +34,7 @@ __all__ = [
     "freq_axes",
     "freq_grid",
     "source_grid",
+    "zernike_map",
     "pupil_stack",
     "conj_pairs",
     "socs",
@@ -167,50 +168,79 @@ def source_grid(config: OpticalConfig) -> SourceGrid:
     )
 
 
+def zernike_map(config: OpticalConfig, term: str) -> np.ndarray:
+    """Memoized Zernike polynomial sampled on the mask frequency grid.
+
+    One ``(N, N)`` map per (grid, optics, term); every aberration spec
+    naming the term reuses it (the per-spec work is then a scalar
+    multiply-accumulate plus one ``exp``).
+    """
+    from .zernike import _build_freq_map
+
+    key = _grid_key(config) + (config.wavelength_nm, config.na, str(term))
+    return _lookup(
+        "zernike_map", key, lambda: _freeze(_build_freq_map(config, term))
+    )
+
+
 # ----------------------------------------------------------------------
 # pupil stacks (Abbe) and SOCS decompositions (Hopkins)
 # ----------------------------------------------------------------------
-def pupil_stack(config: OpticalConfig, defocus_nm: float = 0.0):
-    """Memoized shifted pupil stack wrapped as an autodiff leaf tensor.
+def pupil_stack(config: OpticalConfig, aberration=0.0):
+    """Memoized (aberrated) shifted pupil stack as an autodiff leaf tensor.
 
     Returns ``(stack_tensor, valid_index)`` exactly as
-    :func:`repro.optics.pupil.shifted_pupil_stack` does, but the tensor
-    object itself is shared: every :class:`AbbeImaging` built for an
-    equivalent config holds the *same* ``(S, N, N)`` stack.
+    :func:`repro.optics.pupil.aberrated_pupil_stack` does, but the
+    tensor object itself is shared: every :class:`AbbeImaging` built for
+    an equivalent config holds the *same* ``(S, N, N)`` stack.
+
+    ``aberration`` is anything
+    :meth:`repro.optics.zernike.PupilAberration.coerce` accepts; a plain
+    float keeps the legacy ``defocus_nm`` meaning.  Keys are the spec's
+    canonical identity, so ``ProcessCorner(defocus_nm=f)`` and
+    ``ProcessCorner(aberrations={"Z4": f})`` resolve to one cache entry
+    — the same array object, hence bitwise-identical stacks.
     """
     from .. import autodiff as ad
-    from .pupil import defocused_pupil_stack, shifted_pupil_stack
+    from .zernike import PupilAberration
+
+    ab = PupilAberration.coerce(aberration)
 
     def build():
+        from .pupil import aberrated_pupil_stack
+
         grid = source_grid(config)
-        if defocus_nm == 0.0:
-            stack, valid_index = shifted_pupil_stack(config, grid)
-        else:
-            stack, valid_index = defocused_pupil_stack(config, grid, defocus_nm)
+        stack, valid_index = aberrated_pupil_stack(config, grid, ab)
         _freeze(stack)
         return ad.Tensor(stack), tuple(_freeze(ix) for ix in valid_index)
 
-    return _lookup("pupil_stack", _pupil_key(config) + (float(defocus_nm),), build)
+    return _lookup("pupil_stack", _pupil_key(config) + (ab.cache_key,), build)
 
 
-def conj_pairs(config: OpticalConfig, defocus_nm: float = 0.0):
+def conj_pairs(config: OpticalConfig, aberration=0.0):
     """Memoized ``+/-sigma`` conjugate pairing of a cached pupil stack.
 
     Returns the verified involution array (see
     :func:`repro.optics.pupil.conj_pair_indices`) or ``None`` — complex
-    (defocused) stacks opt out.  Cached so every engine / condition-axis
+    (aberrated) stacks opt out of the conjugate *field* identity even
+    when the phase is even in frequency (defocus, astigmatism,
+    spherical); odd terms (coma, trefoil) additionally break the
+    structural reversal.  Cached so every engine / condition-axis
     evaluation for one config shares a single verification pass.
     """
     from .pupil import conj_pair_indices
+    from .zernike import PupilAberration
+
+    ab = PupilAberration.coerce(aberration)
 
     def build():
-        stack_t, valid_index = pupil_stack(config, defocus_nm)
+        stack_t, valid_index = pupil_stack(config, ab)
         pairs = conj_pair_indices(stack_t.data, valid_index, source_grid(config))
         if pairs is not None:
             _freeze(pairs)
         return pairs
 
-    return _lookup("conj_pairs", _pupil_key(config) + (float(defocus_nm),), build)
+    return _lookup("conj_pairs", _pupil_key(config) + (ab.cache_key,), build)
 
 
 def socs(
@@ -295,7 +325,7 @@ def warmup(
     first use per (config, source, Q).
 
     ``process_window`` (a :class:`repro.optics.config.ProcessWindow`)
-    additionally pre-builds the per-focus defocused pupil stacks and
+    additionally pre-builds the per-condition aberrated pupil stacks and
     conjugate pairings of its condition axis.
     """
     freq_axes(config)
@@ -305,9 +335,9 @@ def warmup(
     conj_pairs(config, defocus_nm)
     abbe_engine(config, defocus_nm)
     if process_window is not None:
-        for focus in process_window.focus_values():
-            pupil_stack(config, focus)
-            conj_pairs(config, focus)
+        for condition in process_window.conditions():
+            pupil_stack(config, condition)
+            conj_pairs(config, condition)
 
 
 # ----------------------------------------------------------------------

@@ -154,33 +154,63 @@ class OpticalConfig:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ProcessCorner:
-    """One process condition: a (dose, focus) pair with a loss weight.
+    """One process condition: (dose, pupil aberration) with a loss weight.
 
     ``dose`` multiplies the mask transmission (the paper's +/-2 %
     corners); because aerial intensity is quadratic in the mask, its
     effect is an exact ``dose**2`` scaling of the aerial image applied
-    *post-imaging* in the resist model — corners that share a focus
-    value therefore share the entire imaging pass.  ``defocus_nm`` is a
-    wafer-plane focus offset realized as a pupil phase
-    (:func:`repro.optics.pupil.defocus_phase`); each distinct focus
-    value costs one imaging pass.  ``weight`` is the corner's absolute
-    loss weight (the paper's gamma / eta are the dose-corner weights).
+    *post-imaging* in the resist model — corners that share an
+    aberration therefore share the entire imaging pass.
+
+    ``aberrations`` is the pupil-phase condition: anything
+    :meth:`repro.optics.zernike.PupilAberration.coerce` accepts (a
+    ``{term: nm}`` mapping over Zernike terms Z4-Z11, a raw radian
+    phase map, or a spec object).  ``defocus_nm`` is backward-compatible
+    sugar for the Z4 (wafer defocus) term: at construction it is folded
+    into the canonical spec, so ``ProcessCorner(defocus_nm=f)`` and
+    ``ProcessCorner(aberrations={"Z4": f})`` are *equal* corners
+    compiling to one shared, bitwise-identical pupil stack.  Each
+    distinct aberration spec costs one imaging pass.
+
+    ``weight`` is the corner's absolute loss weight (the paper's gamma /
+    eta are the dose-corner weights); under ``robust="adaptive"`` the
+    weights seed the minimax ascent.  ``intensity_threshold`` optionally
+    overrides the config's resist threshold for this corner (per-corner
+    resist calibration — real process models calibrate ``I_tr`` per
+    condition); ``None`` keeps the shared config value.
     """
 
     dose: float = 1.0
     defocus_nm: float = 0.0
     weight: float = 1.0
     label: str = ""
+    aberrations: object = None
+    intensity_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
+        from .zernike import PupilAberration
+
         if self.dose <= 0.0:
             raise ValueError(f"corner dose must be positive; got {self.dose}")
         if self.weight <= 0.0:
             raise ValueError(f"corner weight must be positive; got {self.weight}")
+        if self.intensity_threshold is not None:
+            thr = float(self.intensity_threshold)
+            if thr <= 0.0:
+                raise ValueError(
+                    f"corner intensity_threshold must be positive; got {thr}"
+                )
+            object.__setattr__(self, "intensity_threshold", thr)
+        # Canonicalize: fold the defocus sugar into the aberration spec,
+        # then mirror the spec's Z4 component back so both spellings are
+        # equal dataclasses with one cache identity.
+        ab = PupilAberration.coerce(self.aberrations)
+        if float(self.defocus_nm) != 0.0:
+            ab = ab.add_defocus(float(self.defocus_nm))
+        object.__setattr__(self, "aberrations", ab)
+        object.__setattr__(self, "defocus_nm", float(ab.defocus_nm))
         if not self.label:
-            object.__setattr__(
-                self, "label", f"d{self.dose:g}/f{self.defocus_nm:g}nm"
-            )
+            object.__setattr__(self, "label", f"d{self.dose:g}/{ab.label}")
 
     @property
     def name(self) -> str:
@@ -189,7 +219,7 @@ class ProcessCorner:
 
 @dataclass(frozen=True)
 class ProcessWindow:
-    """A weighted dose x focus corner grid — the process-condition axis.
+    """A weighted dose x pupil-aberration corner grid — the condition axis.
 
     The window is what robust objectives
     (:class:`repro.smo.objective.ProcessWindowSMOObjective`) optimize
@@ -198,11 +228,15 @@ class ProcessWindow:
     :class:`repro.harness.RunSettings` and pickles across the parallel
     sweep's process pool.
 
-    Corners are grouped by focus for evaluation: :meth:`focus_values`
-    returns the distinct defocus settings (one imaging pass each) and
-    :meth:`focus_index` maps every corner to its pass, so a C-corner
-    window with F distinct focus values costs F aerial evaluations —
-    dose corners are free (an exact post-aerial ``dose**2`` scaling).
+    Corners are grouped by aberration for evaluation:
+    :meth:`conditions` returns the distinct
+    :class:`~repro.optics.zernike.PupilAberration` specs (one imaging
+    pass each) and :meth:`condition_index` maps every corner to its
+    pass, so a C-corner window with F distinct specs costs F aerial
+    evaluations — dose corners are free (an exact post-aerial
+    ``dose**2`` scaling).  :meth:`focus_values` / :meth:`focus_index`
+    are the legacy defocus-only views, valid while every condition is a
+    pure-defocus spec.
     """
 
     corners: Tuple[ProcessCorner, ...]
@@ -231,21 +265,56 @@ class ProcessWindow:
     def labels(self) -> Tuple[str, ...]:
         return tuple(c.label for c in self.corners)
 
-    def focus_values(self) -> Tuple[float, ...]:
-        """Distinct defocus settings in first-appearance order.
+    def conditions(self) -> Tuple:
+        """Distinct pupil-aberration specs in first-appearance order.
 
-        Each entry is one imaging pass; all corners are resolved against
-        this tuple by :meth:`focus_index`.
+        Each entry is one imaging pass (one aberrated pupil stack,
+        shared through :mod:`repro.optics.cache`); all corners are
+        resolved against this tuple by :meth:`condition_index`.
         """
         seen: dict = {}
         for c in self.corners:
-            seen.setdefault(float(c.defocus_nm), None)
-        return tuple(seen)
+            seen.setdefault(c.aberrations.cache_key, c.aberrations)
+        return tuple(seen.values())
+
+    def condition_index(self) -> np.ndarray:
+        """Corner -> index into :meth:`conditions`, shape ``(C,)``."""
+        order = {ab.cache_key: i for i, ab in enumerate(self.conditions())}
+        return np.array([order[c.aberrations.cache_key] for c in self.corners])
+
+    def focus_values(self) -> Tuple[float, ...]:
+        """Distinct defocus settings — the legacy defocus-only view.
+
+        Valid while every condition is a pure-defocus spec; windows with
+        astigmatism / coma / spherical (or raw-map) conditions raise a
+        pointer to :meth:`conditions`.
+        """
+        vals = []
+        for ab in self.conditions():
+            if not ab.is_pure_defocus:
+                raise ValueError(
+                    "window has non-defocus aberration conditions "
+                    f"({ab.label}); use conditions()/condition_index()"
+                )
+            vals.append(ab.defocus_nm)
+        return tuple(vals)
 
     def focus_index(self) -> np.ndarray:
         """Corner -> index into :meth:`focus_values`, shape ``(C,)``."""
-        order = {f: i for i, f in enumerate(self.focus_values())}
-        return np.array([order[float(c.defocus_nm)] for c in self.corners])
+        self.focus_values()  # validate the defocus-only view applies
+        return self.condition_index()
+
+    def intensity_thresholds(self, config: OpticalConfig) -> np.ndarray:
+        """Per-corner resist thresholds ``(C,)``, resolved against the
+        config default for corners without a calibrated override."""
+        return np.array(
+            [
+                config.intensity_threshold
+                if c.intensity_threshold is None
+                else c.intensity_threshold
+                for c in self.corners
+            ]
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -271,29 +340,55 @@ class ProcessWindow:
         doses: Sequence[float],
         focus_nm: Sequence[float] = (0.0,),
         weights: Optional[Sequence[float]] = None,
+        aberrations: Sequence = (),
     ) -> "ProcessWindow":
-        """Full dose x focus grid, dose-major corner order.
+        """Full dose x condition grid, dose-major corner order.
 
-        ``weights`` is a flat per-corner sequence of length
-        ``len(doses) * len(focus_nm)`` (matching the dose-major order)
-        or ``None`` for uniform weights.
+        The condition axis is the focus values (as pure-defocus specs)
+        followed by any extra ``aberrations`` — each entry anything
+        :meth:`repro.optics.zernike.PupilAberration.coerce` accepts
+        (``{"Z5": 20, "Z7": -10}``-style mappings, raw radian phase
+        maps, or spec objects).  ``weights`` is a flat per-corner
+        sequence of length ``len(doses) * num_conditions`` (matching the
+        dose-major order) or ``None`` for uniform weights.
         """
+        from .zernike import PupilAberration
+
         doses = tuple(float(d) for d in doses)
-        focus_nm = tuple(float(f) for f in focus_nm)
-        if not doses or not focus_nm:
-            raise ValueError("need at least one dose and one focus value")
-        count = len(doses) * len(focus_nm)
+        conditions = tuple(
+            PupilAberration.defocus(float(f)) for f in focus_nm
+        ) + tuple(PupilAberration.coerce(a) for a in aberrations)
+        if not doses or not conditions:
+            raise ValueError("need at least one dose and one condition")
+        seen: dict = {}
+        for ab in conditions:
+            if ab.cache_key in seen:
+                # A duplicate would silently double the condition's
+                # effective weight in every robust reduction (e.g.
+                # focus_nm=(40,) plus aberrations=({"Z4": 40},), or a
+                # zero-coefficient spec duplicating the nominal corner).
+                raise ValueError(
+                    f"duplicate process condition {ab.label!r}: the "
+                    "focus_nm and aberrations axes canonicalize to the "
+                    "same spec; list each condition once"
+                )
+            seen[ab.cache_key] = ab
+        count = len(doses) * len(conditions)
         if weights is None:
             weights = (1.0,) * count
         weights = tuple(float(w) for w in weights)
         if len(weights) != count:
             raise ValueError(
-                f"need {count} weights for a {len(doses)}x{len(focus_nm)} "
+                f"need {count} weights for a {len(doses)}x{len(conditions)} "
                 f"grid; got {len(weights)}"
             )
         corners = tuple(
-            ProcessCorner(d, f, weights[i * len(focus_nm) + j])
+            ProcessCorner(
+                d,
+                weight=weights[i * len(conditions) + j],
+                aberrations=ab,
+            )
             for i, d in enumerate(doses)
-            for j, f in enumerate(focus_nm)
+            for j, ab in enumerate(conditions)
         )
         return cls(corners=corners)

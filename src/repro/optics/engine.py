@@ -18,15 +18,17 @@ through the same small surface, the :class:`ImagingEngine` protocol:
     weight contributes nothing to the incoherent sum).  Used by
     ``images()``, metric evaluation and the harness judge.
 
-``aerial_conditions(mask, source, focus_values)`` /
+``aerial_conditions(mask, source, conditions)`` /
 ``aerial_conditions_fast(...)``
     The process-condition axis: a ``(F, B, N, N)`` aerial stack across
-    the distinct focus values of a :class:`~repro.optics.config.
-    ProcessWindow`, evaluated as one fused
+    the distinct pupil conditions of a :class:`~repro.optics.config.
+    ProcessWindow` — defocus floats or general
+    :class:`~repro.optics.zernike.PupilAberration` specs (astigmatism,
+    coma, spherical, raw phase maps) — evaluated as one fused
     ``incoherent_image_stack`` node that shares a single mask-spectrum
     FFT across all conditions.  Dose corners never reach the engines —
     dose is an exact post-aerial ``dose**2`` scaling applied by the
-    resist model, so corners sharing a focus value share the entire
+    resist model, so corners sharing an aberration share the entire
     imaging pass.
 
 Routing every consumer through this protocol is what lets batching and
@@ -85,17 +87,18 @@ class ImagingEngine(Protocol):
         self,
         mask: "ad.Tensor",
         source: Optional["ad.Tensor"] = None,
-        focus_values=(0.0,),
+        conditions=(0.0,),
     ) -> "ad.Tensor":
-        """Differentiable ``(F, [B,] N, N)`` aerial stack across focus
-        conditions, sharing one mask-spectrum FFT."""
+        """Differentiable ``(F, [B,] N, N)`` aerial stack across pupil
+        conditions (defocus floats or aberration specs), sharing one
+        mask-spectrum FFT."""
         ...
 
     def aerial_conditions_fast(
         self,
         mask: MaskLike,
         source: Optional[MaskLike] = None,
-        focus_values=(0.0,),
+        conditions=(0.0,),
     ) -> np.ndarray:
         """Graph-free counterpart of :meth:`aerial_conditions`."""
         ...

@@ -126,13 +126,16 @@ class HopkinsImaging:
         SOCS truncation order Q; ``None`` uses ``config.socs_terms``;
         pass the full support size for a lossless (test) decomposition.
     defocus_nm:
-        Wafer-plane focus offset.  The defocused TCC is the in-focus
-        TCC conjugated by the (even) defocus phase ``D``:
-        ``TCC_z[p, q] = D(f_p) conj(D(f_q)) TCC_0[p, q]`` — a unitary
+        Wafer-plane focus offset.  For *any* unit-modulus pupil-phase
+        factor ``D`` (defocus, astigmatism, coma, spherical, or a raw
+        map — see :class:`repro.optics.zernike.PupilAberration`) the
+        aberrated TCC is the nominal TCC conjugated by ``D``:
+        ``TCC_D[p, q] = D(f_p) conj(D(f_q)) TCC_0[p, q]`` — a unitary
         diagonal congruence, so the eigenvalues are unchanged and the
-        defocused SOCS kernels are exactly ``Phi_q * D``.  Defocus
-        therefore costs one elementwise phase multiply, never a TCC
-        re-assembly or re-decomposition.
+        aberrated SOCS kernels are exactly ``Phi_q * D``.  An aberration
+        condition therefore costs one elementwise phase multiply, never
+        a TCC re-assembly or re-decomposition (the identity behind
+        :meth:`condition_kernels`).
     fused:
         When True (default) :meth:`aerial` is one fused
         :func:`repro.autodiff.functional.incoherent_image` node
@@ -150,9 +153,12 @@ class HopkinsImaging:
         fused: bool = True,
         defocus_nm: float = 0.0,
     ):
+        from .zernike import PupilAberration
+
         config.validate_sampling()
         self.config = config
         self.fused = bool(fused)
+        self.aberration = PupilAberration.defocus(float(defocus_nm))
         self.defocus_nm = float(defocus_nm)
         if source_grid is None:
             from . import cache
@@ -167,36 +173,44 @@ class HopkinsImaging:
             self.weights = weights
             self.tcc_trace = tcc_trace
             self._base_kernel_stack = ad.Tensor(kernels)  # (Q, N, N), fftfreq
-        self._kernel_stack = self._defocused_kernels(self.defocus_nm)
+        self._kernel_stack = self._aberrated_kernels(self.aberration)
         self.num_kernels = self._kernel_stack.shape[0]
         self._weight_tensor = ad.Tensor(self.weights)
-        #: Per-focus kernel-stack memo for the condition axis.
-        self._condition_memo: dict = {float(self.defocus_nm): self._kernel_stack}
+        #: Per-condition kernel-stack memo for the condition axis.
+        self._condition_memo: dict = {
+            self.aberration.cache_key: self._kernel_stack
+        }
 
-    def _defocused_kernels(self, defocus_nm: float) -> "ad.Tensor":
-        """In-focus SOCS kernels phased to ``defocus_nm`` (exact, see class
-        docstring); zero defocus shares the cached base stack."""
-        if defocus_nm == 0.0:
+    def _aberrated_kernels(self, aberration) -> "ad.Tensor":
+        """Nominal SOCS kernels phased to an aberration condition (exact
+        for any unit-modulus ``D``, see class docstring); the null spec
+        shares the cached base stack."""
+        from .zernike import PupilAberration
+
+        ab = PupilAberration.coerce(aberration)
+        if ab.is_null:
             return self._base_kernel_stack
-        from .pupil import defocus_phase
-
-        phase = defocus_phase(self.config, defocus_nm)
+        phase = ab.phase(self.config)
         return ad.Tensor(self._base_kernel_stack.data * phase[None, :, :])
 
-    def condition_kernels(self, focus_values):
-        """Per-focus SOCS kernel tensors (memoized phase multiplies,
-        bounded by ``CONDITION_MEMO_MAX``)."""
+    def condition_kernels(self, conditions):
+        """Per-condition SOCS kernel tensors (memoized phase multiplies,
+        bounded by ``CONDITION_MEMO_MAX``).  Entries are defocus floats
+        or any :meth:`PupilAberration.coerce` argument."""
+        from .zernike import PupilAberration
+
         out = []
-        for focus in focus_values:
-            focus = float(focus)
-            if focus not in self._condition_memo:
+        for condition in conditions:
+            ab = PupilAberration.coerce(condition)
+            key = ab.cache_key
+            if key not in self._condition_memo:
                 if len(self._condition_memo) >= CONDITION_MEMO_MAX:
-                    for key in self._condition_memo:
-                        if key != self.defocus_nm:
-                            del self._condition_memo[key]
+                    for memo_key in self._condition_memo:
+                        if memo_key != self.aberration.cache_key:
+                            del self._condition_memo[memo_key]
                             break
-                self._condition_memo[focus] = self._defocused_kernels(focus)
-            out.append(self._condition_memo[focus])
+                self._condition_memo[key] = self._aberrated_kernels(ab)
+            out.append(self._condition_memo[key])
         return out
 
     def aerial(self, mask: ad.Tensor, source: Optional[ad.Tensor] = None) -> ad.Tensor:
@@ -242,25 +256,33 @@ class HopkinsImaging:
         self,
         mask: ad.Tensor,
         source: Optional[ad.Tensor] = None,
-        focus_values=(0.0,),
+        conditions=(0.0,),
+        *,
+        focus_values=None,
     ) -> ad.Tensor:
-        """Aerial stack across focus conditions: ``(F, B, N, N)``.
+        """Aerial stack across pupil conditions: ``(F, B, N, N)``.
 
-        One fused ``incoherent_image_stack`` node over the per-focus
-        phased SOCS kernel stacks, sharing a single mask-spectrum FFT.
-        ``source`` must be None (baked into the TCC); SOCS kernels carry
-        no ``+/-sigma`` pairing, so no ``conj_pairs`` are passed.
+        One fused ``incoherent_image_stack`` node over the per-condition
+        phased SOCS kernel stacks (arbitrary aberrations — the
+        rank-preserving phase identity, see the class docstring),
+        sharing a single mask-spectrum FFT.  ``conditions`` entries are
+        defocus floats or any :meth:`PupilAberration.coerce` argument
+        (``focus_values`` is the legacy keyword alias).  ``source`` must
+        be None (baked into the TCC); SOCS kernels carry no
+        ``+/-sigma`` pairing, so no ``conj_pairs`` are passed.
         ``fused=False`` engines build the composed-op reference graph
-        instead (one :func:`incoherent_image_composed` per focus,
+        instead (one :func:`incoherent_image_composed` per condition,
         scattered into the condition stack) — the same A/B oracle
         switch as :meth:`aerial`.
         """
+        if focus_values is not None:
+            conditions = focus_values
         if source is not None:
             raise ValueError(
                 "HopkinsImaging bakes the source into the TCC; "
                 "rebuild the engine to change it"
             )
-        kernels = self.condition_kernels(focus_values)
+        kernels = self.condition_kernels(conditions)
         if not self.fused:
             aerials = [
                 F.incoherent_image_composed(mask, kern, self._weight_tensor)
@@ -278,9 +300,13 @@ class HopkinsImaging:
         self,
         mask: MaskLike,
         source: Optional[MaskLike] = None,
-        focus_values=(0.0,),
+        conditions=(0.0,),
+        *,
+        focus_values=None,
     ) -> np.ndarray:
         """Graph-free condition-axis forward (inference/judge path)."""
+        if focus_values is not None:
+            conditions = focus_values
         if source is not None:
             raise ValueError(
                 "HopkinsImaging bakes the source into the TCC; "
@@ -290,7 +316,7 @@ class HopkinsImaging:
         out = np.stack(
             [
                 incoherent_sum_fast(tiles, kern.data, self.weights, 1.0)
-                for kern in self.condition_kernels(focus_values)
+                for kern in self.condition_kernels(conditions)
             ]
         )
         return out[:, 0] if single else out

@@ -5,24 +5,31 @@ cutoff ``NA / lambda``.  For Abbe imaging, each source point sees the
 pupil shifted by its own spatial frequency; :func:`shifted_pupil_stack`
 builds all shifted pupils at once so the imaging engine can batch the
 per-source FFTs (the paper's parallel acceleration, Section 3.1).
+
+Aberrations multiply the shifted stack by a unit-modulus phase factor
+on the mask frequency grid: :func:`defocus_phase` is the classic
+Fresnel focus term, and :func:`aberrated_pupil_stack` generalizes it to
+any :class:`repro.optics.zernike.PupilAberration` (Zernike terms Z4-Z11
+or a raw phase map) — the pupil-phase condition axis of a process
+window.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from typing import Optional
-
 from .config import OpticalConfig
 from .source import SourceGrid
+from .zernike import PupilAberration, defocus_exponent
 
 __all__ = [
     "pupil",
     "shifted_pupil_stack",
     "defocus_phase",
     "defocused_pupil_stack",
+    "aberrated_pupil_stack",
     "conj_pair_indices",
 ]
 
@@ -73,21 +80,39 @@ def defocus_phase(config: OpticalConfig, defocus_nm: float) -> np.ndarray:
 
     Note the phase is *even* in (f, g): frequency reversal leaves it
     unchanged, so the ``+/-sigma`` structural pairing of the shifted
-    pupils survives defocus (see :func:`conj_pair_indices`).
+    pupils survives defocus (see :func:`conj_pair_indices`).  The
+    exponent lives in :func:`repro.optics.zernike.defocus_exponent` —
+    the same array a ``{"Z4": z}`` aberration spec exponentiates, which
+    is what makes the ``defocus_nm`` sugar bitwise-exact.
     """
-    fx, fy = config.freq_grid()
-    phase = -np.pi * config.wavelength_nm * defocus_nm * (fx**2 + fy**2)
-    return np.exp(1j * phase)
+    return np.exp(1j * defocus_exponent(config, defocus_nm))
 
 
 def defocused_pupil_stack(
     config: OpticalConfig, grid: SourceGrid, defocus_nm: float
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Shifted pupils with a defocus aberration applied (complex stack)."""
+    return aberrated_pupil_stack(config, grid, PupilAberration.defocus(defocus_nm))
+
+
+def aberrated_pupil_stack(
+    config: OpticalConfig, grid: SourceGrid, aberration
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shifted pupils under an arbitrary pupil-phase aberration.
+
+    ``aberration`` is anything :meth:`PupilAberration.coerce` accepts (a
+    defocus float, a ``{term: nm}`` mapping, a radian phase map or a
+    spec).  The null spec returns the plain *real* stack — keeping the
+    verified ``+/-sigma`` conjugate-field streaming available — while
+    any non-null spec multiplies in the complex unit-modulus phase
+    factor (one elementwise multiply; the stack geometry never
+    changes).
+    """
     stack, valid_index = shifted_pupil_stack(config, grid)
-    if defocus_nm == 0.0:
+    ab = PupilAberration.coerce(aberration)
+    if ab.is_null:
         return stack, valid_index
-    return stack * defocus_phase(config, defocus_nm)[None, :, :], valid_index
+    return stack * ab.phase(config)[None, :, :], valid_index
 
 
 def conj_pair_indices(

@@ -13,6 +13,8 @@ from .parametrization import (
 from .objective import (
     ROBUST_MODES,
     AbbeSMOObjective,
+    AdaptiveCornerWeights,
+    adaptive_corner_update,
     BatchedSMOObjective,
     HopkinsMOObjective,
     LoopedSMOObjective,
@@ -49,6 +51,8 @@ __all__ = [
     "LoopedSMOObjective",
     "ProcessWindowSMOObjective",
     "ROBUST_MODES",
+    "AdaptiveCornerWeights",
+    "adaptive_corner_update",
     "dose_resist",
     "robust_corner_loss",
     "smo_loss_from_aerial",

@@ -28,6 +28,7 @@ from .objective import (
     BatchedSMOObjective,
     HopkinsMOObjective,
     ProcessWindowSMOObjective,
+    adaptive_corner_update,
 )
 from .parametrization import init_theta_mask, init_theta_source, source_from_theta
 from .state import IterationRecord, SMOResult
@@ -58,10 +59,13 @@ class AMSMO:
         overrides the default built from ``target``.
     process_window:
         Optional :class:`repro.optics.ProcessWindow`: both phases then
-        alternate on the robust dose x focus loss
+        alternate on the robust dose x aberration loss
         (:class:`ProcessWindowSMOObjective` for the Abbe phases, the
         windowed :class:`HopkinsMOObjective` for the Hopkins MO phase);
-        ``robust`` / ``robust_tau`` select the corner reduction.
+        ``robust`` / ``robust_tau`` select the corner reduction.  Under
+        ``robust="adaptive"`` one :class:`AdaptiveCornerWeights` ascent
+        is shared across both phases (and across Hopkins TCC rebuilds),
+        stepping once per recorded iteration.
     """
 
     def __init__(
@@ -150,12 +154,14 @@ class AMSMO:
                 (gj,) = ad.grad(loss, [tj])
                 tiles = self._stashed_tile_losses()
                 theta_j = opt_j.step(theta_j, gj.data)
+                corner_w = adaptive_corner_update(self.objective)
                 rec = IterationRecord(
                     step,
                     float(loss.data),
                     time.perf_counter() - t0,
                     "so",
                     tile_losses=tiles,
+                    corner_weights=corner_w,
                 )
                 history.append(rec)
                 step += 1
@@ -175,6 +181,11 @@ class AMSMO:
                     window=self.process_window,
                     robust=self.robust,
                     robust_tau=self.robust_tau,
+                    # Share the minimax dual variable across phases and
+                    # TCC rebuilds (robust="adaptive" only; None otherwise).
+                    adaptive_weights=getattr(
+                        self.objective, "adaptive_weights", None
+                    ),
                 )
                 tcc_seconds += time.perf_counter() - t0
                 for _ in range(self.mo_steps):
@@ -184,12 +195,14 @@ class AMSMO:
                     (gm,) = ad.grad(loss, [tm])
                     tiles = hop.last_tile_losses
                     theta_m = opt_m.step(theta_m, gm.data)
+                    corner_w = adaptive_corner_update(hop)
                     rec = IterationRecord(
                         step,
                         float(loss.data),
                         time.perf_counter() - t0,
                         "mo",
                         tile_losses=tiles,
+                        corner_weights=corner_w,
                     )
                     history.append(rec)
                     step += 1
@@ -204,12 +217,14 @@ class AMSMO:
                     (gm,) = ad.grad(loss, [tm])
                     tiles = self._stashed_tile_losses()
                     theta_m = opt_m.step(theta_m, gm.data)
+                    corner_w = adaptive_corner_update(self.objective)
                     rec = IterationRecord(
                         step,
                         float(loss.data),
                         time.perf_counter() - t0,
                         "mo",
                         tile_losses=tiles,
+                        corner_weights=corner_w,
                     )
                     history.append(rec)
                     step += 1

@@ -43,6 +43,7 @@ from .objective import (
     AbbeSMOObjective,
     BatchedSMOObjective,
     ProcessWindowSMOObjective,
+    adaptive_corner_update,
 )
 from .parametrization import init_theta_mask, init_theta_source
 from .state import IterationRecord, SMOResult
@@ -210,11 +211,14 @@ class BiSMO:
         Tikhonov damping added to the inner Hessian in the CG solve.
     process_window:
         Optional :class:`repro.optics.ProcessWindow`: both bilevel
-        levels then optimize the robust loss across the dose x focus
-        corner grid (:class:`ProcessWindowSMOObjective`; one fused
-        condition stack per evaluation, hypergradients and HVPs flow
-        through the condition axis).  ``robust`` / ``robust_tau`` select
-        the corner reduction (weighted sum or smooth worst case).
+        levels then optimize the robust loss across the dose x
+        aberration corner grid (:class:`ProcessWindowSMOObjective`; one
+        fused condition stack per evaluation, hypergradients and HVPs
+        flow through the condition axis).  ``robust`` / ``robust_tau``
+        select the corner reduction — weighted sum, smooth worst case,
+        or ``"adaptive"``: an outer exponentiated-gradient ascent on the
+        corner weights (one step per outer iteration, trajectory in the
+        records) that closes the loop on true worst-case SMO.
     """
 
     def __init__(
@@ -312,12 +316,14 @@ class BiSMO:
                 )
                 tile_losses = self._stashed_tile_losses()
                 theta_m = outer_opt.step(theta_m, hyper)
+                corner_w = adaptive_corner_update(self.objective)
                 rec = IterationRecord(
                     it,
                     loss_value,
                     time.perf_counter() - t0,
                     "bilevel",
                     tile_losses=tile_losses,
+                    corner_weights=corner_w,
                 )
                 history.append(rec)
                 if callback:
@@ -350,21 +356,28 @@ class BiSMO:
                 hvp_mode=self.hvp_mode,
                 so_loss_fn=so_loss,
             )
-            # Capture per-tile losses now: they belong to ctx's loss
-            # evaluation, and FD-mode hypergradients re-evaluate the
-            # objective at perturbed points below.
+            # Capture per-tile losses and the corner matrix now: they
+            # belong to ctx's loss evaluation, and FD-mode
+            # hypergradients re-evaluate the objective at perturbed
+            # points below (clobbering the stashed diagnostics).
             tile_losses = self._stashed_tile_losses()
+            corner_matrix = getattr(self.objective, "last_corner_losses", None)
             hyper, warm = self._hyper_fn(
                 ctx, self.inner_lr, self.terms, self.damping, warm
             )
             # ---- Alg. 2 line 13: outer MO step ------------------------
             theta_m = outer_opt.step(theta_m, hyper)
+            # Minimax ascent on the corner weights (robust="adaptive"):
+            # one EG step per outer iteration, from the corner losses of
+            # ctx's evaluation at the pre-step parameters.
+            corner_w = adaptive_corner_update(self.objective, corner_matrix)
             rec = IterationRecord(
                 it,
                 ctx.loss_value,
                 time.perf_counter() - t0,
                 "bilevel",
                 tile_losses=tile_losses,
+                corner_weights=corner_w,
             )
             history.append(rec)
             if callback:

@@ -29,6 +29,7 @@ from .objective import (
     BatchedSMOObjective,
     HopkinsMOObjective,
     ProcessWindowSMOObjective,
+    adaptive_corner_update,
 )
 from .parametrization import init_theta_mask, init_theta_source
 from .state import IterationRecord, SMOResult
@@ -45,10 +46,12 @@ class AbbeMO:
     a stack optimizes a ``theta_M`` batch jointly through the fused
     multi-tile forward, and records carry per-tile losses.
 
-    ``process_window`` switches the loss to the robust dose x focus
+    ``process_window`` switches the loss to the robust dose x aberration
     reduction across a :class:`repro.optics.ProcessWindow`
     (:class:`ProcessWindowSMOObjective`); ``robust`` / ``robust_tau``
-    pick weighted-sum or smooth worst-case.
+    pick weighted-sum, smooth worst-case, or the adaptive minimax
+    ascent — ``robust="adaptive"`` EG-steps the corner weights once per
+    iteration and stashes the trajectory in the records.
     """
 
     method_name = "Abbe-MO"
@@ -102,12 +105,14 @@ class AbbeMO:
             (gm,) = ad.grad(loss, [tm])
             tiles = getattr(self.objective, "last_tile_losses", None)
             theta_m = self._opt.step(theta_m, gm.data)
+            corner_w = adaptive_corner_update(self.objective)
             rec = IterationRecord(
                 it,
                 float(loss.data),
                 time.perf_counter() - t0,
                 "mo",
                 tile_losses=tiles,
+                corner_weights=corner_w,
             )
             history.append(rec)
             if callback:
@@ -176,12 +181,14 @@ class HopkinsMO:
             (gm,) = ad.grad(loss, [tm])
             tiles = self.objective.last_tile_losses
             theta_m = self._opt.step(theta_m, gm.data)
+            corner_w = adaptive_corner_update(self.objective)
             rec = IterationRecord(
                 it,
                 float(loss.data),
                 time.perf_counter() - t0,
                 "mo",
                 tile_losses=tiles,
+                corner_weights=corner_w,
             )
             history.append(rec)
             if callback:

@@ -48,6 +48,8 @@ __all__ = [
     "robust_corner_loss",
     "robust_tile_losses",
     "windowed_corner_loss",
+    "AdaptiveCornerWeights",
+    "adaptive_corner_update",
     "AbbeSMOObjective",
     "HopkinsMOObjective",
     "BatchedSMOObjective",
@@ -57,10 +59,26 @@ __all__ = [
 ]
 
 
-def dose_resist(aerial: ad.Tensor, config: OpticalConfig, dose: float) -> ad.Tensor:
-    """Resist image at a given dose: sigmoid(beta * (dose^2 * I - I_tr))."""
+def dose_resist(
+    aerial: ad.Tensor,
+    config: OpticalConfig,
+    dose: float,
+    intensity_threshold: Optional[float] = None,
+) -> ad.Tensor:
+    """Resist image at a given dose: sigmoid(beta * (dose^2 * I - I_tr)).
+
+    ``intensity_threshold`` overrides the config's shared ``I_tr`` —
+    the per-corner resist calibration a
+    :class:`repro.optics.ProcessCorner` can carry; ``None`` keeps the
+    config value.
+    """
+    threshold = (
+        config.intensity_threshold
+        if intensity_threshold is None
+        else float(intensity_threshold)
+    )
     scaled = F.mul(aerial, dose * dose) if dose != 1.0 else aerial
-    return F.sigmoid(F.mul(F.sub(scaled, config.intensity_threshold), config.beta))
+    return F.sigmoid(F.mul(F.sub(scaled, threshold), config.beta))
 
 
 def smo_loss_from_aerial(
@@ -126,8 +144,10 @@ def _tile_losses_from_aerial(
 # ----------------------------------------------------------------------
 # process-window robustness: corner losses + robust reductions
 # ----------------------------------------------------------------------
-#: Supported robust reductions across process corners.
-ROBUST_MODES = ("sum", "max")
+#: Supported robust reductions across process corners.  ``"adaptive"``
+#: is the weighted sum under live :class:`AdaptiveCornerWeights` — the
+#: soft-minimax ascent loop the solvers step once per outer iteration.
+ROBUST_MODES = ("sum", "max", "adaptive")
 
 
 def _corner_loss_terms(
@@ -136,20 +156,26 @@ def _corner_loss_terms(
     window: ProcessWindow,
     config: OpticalConfig,
 ) -> Tuple[List[ad.Tensor], np.ndarray]:
-    """Per-corner squared-error scalars from per-focus aerial images.
+    """Per-corner squared-error scalars from per-condition aerial images.
 
     ``aerials[i]`` is the (differentiable) aerial image at the window's
-    i-th distinct focus value; each corner applies its exact post-aerial
-    ``dose**2`` scaling through :func:`dose_resist` and contributes
+    i-th distinct pupil condition; each corner applies its exact
+    post-aerial ``dose**2`` scaling (and its calibrated resist
+    threshold, when set) through :func:`dose_resist` and contributes
     ``L_c = || Z_c - Z_t ||^2``.  Returns the list of C scalar loss
     tensors plus the ``(C, B)`` per-tile loss matrix (harvested from the
     already-computed resist data at no extra imaging cost).
     """
-    fidx = window.focus_index()
+    fidx = window.condition_index()
     losses: List[ad.Tensor] = []
     matrix_rows = []
     for ci, corner in enumerate(window.corners):
-        z = dose_resist(aerials[int(fidx[ci])], config, corner.dose)
+        z = dose_resist(
+            aerials[int(fidx[ci])],
+            config,
+            corner.dose,
+            corner.intensity_threshold,
+        )
         sq = F.power(F.sub(z, target), 2.0)
         losses.append(F.sum(sq))
         d = sq.data
@@ -159,11 +185,25 @@ def _corner_loss_terms(
     return losses, np.asarray(matrix_rows, dtype=np.float64)
 
 
+def _resolve_corner_weights(
+    window: ProcessWindow, weights: Optional[np.ndarray]
+) -> np.ndarray:
+    if weights is None:
+        return window.weights
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if w.shape != (window.num_corners,):
+        raise ValueError(
+            f"corner weights must be ({window.num_corners},); got {w.shape}"
+        )
+    return w
+
+
 def robust_corner_loss(
     corner_losses: Sequence[ad.Tensor],
     window: ProcessWindow,
     robust: str = "sum",
     tau: float = 1.0,
+    weights: Optional[np.ndarray] = None,
 ) -> ad.Tensor:
     """Reduce per-corner scalar losses to one robust objective.
 
@@ -176,13 +216,21 @@ def robust_corner_loss(
       constant max-shift, which leaves value and all derivatives exact.
       Smaller ``tau`` tracks the hard max more tightly; ``tau`` is in
       loss units.
+    * ``"adaptive"`` — a weighted sum under the *live* weights of an
+      :class:`AdaptiveCornerWeights` ascent (passed via ``weights``):
+      within one evaluation the weights are constants, so the graph is
+      the ``"sum"`` graph; the minimax behavior comes from the outer
+      weight updates between iterations.
+
+    ``weights`` overrides the window's static corner weights for the
+    reduction (any mode); ``None`` uses ``window.weights``.
     """
     if robust not in ROBUST_MODES:
         raise ValueError(f"unknown robust mode {robust!r}; choose {ROBUST_MODES}")
-    weights = window.weights
-    if robust == "sum":
+    w_arr = _resolve_corner_weights(window, weights)
+    if robust in ("sum", "adaptive"):
         total: Optional[ad.Tensor] = None
-        for loss, w in zip(corner_losses, weights):
+        for loss, w in zip(corner_losses, w_arr):
             term = F.mul(loss, float(w))
             total = term if total is None else F.add(total, term)
         assert total is not None
@@ -191,7 +239,7 @@ def robust_corner_loss(
         raise ValueError(f"tau must be positive; got {tau}")
     shift = max(float(loss.data) for loss in corner_losses)
     acc: Optional[ad.Tensor] = None
-    for loss, w in zip(corner_losses, weights):
+    for loss, w in zip(corner_losses, w_arr):
         term = F.mul(F.exp(F.div(F.sub(loss, shift), float(tau))), float(w))
         acc = term if acc is None else F.add(acc, term)
     assert acc is not None
@@ -199,11 +247,17 @@ def robust_corner_loss(
 
 
 def robust_tile_losses(
-    matrix: np.ndarray, window: ProcessWindow, robust: str = "sum", tau: float = 1.0
+    matrix: np.ndarray,
+    window: ProcessWindow,
+    robust: str = "sum",
+    tau: float = 1.0,
+    weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Per-tile robust losses ``(B,)`` from a ``(C, B)`` corner matrix."""
-    w = window.weights
-    if robust == "sum":
+    if robust not in ROBUST_MODES:
+        raise ValueError(f"unknown robust mode {robust!r}; choose {ROBUST_MODES}")
+    w = _resolve_corner_weights(window, weights)
+    if robust in ("sum", "adaptive"):
         return w @ matrix
     shift = matrix.max(axis=0)
     return tau * np.log(
@@ -220,37 +274,170 @@ def windowed_corner_loss(
     robust: str = "sum",
     tau: float = 1.0,
     source: Optional[ad.Tensor] = None,
+    weights: Optional[np.ndarray] = None,
 ) -> Tuple[ad.Tensor, np.ndarray]:
     """One fused condition-axis evaluation of a robust window loss.
 
     The single shared implementation behind every windowed objective
     (:class:`ProcessWindowSMOObjective`, the windowed
     :class:`HopkinsMOObjective`, the robust NILT baseline): one
-    ``engine.aerial_conditions`` stack (shared mask spectrum across
-    focus values), per-corner ``dose**2`` resists, and the robust
-    reduction.  Pass ``source=None`` for baked-source (Hopkins)
-    engines.  Returns ``(robust_loss, corner_matrix)`` with the matrix
-    shaped ``(C, B)``.
+    ``engine.aerial_conditions`` stack (shared mask spectrum across the
+    window's distinct pupil conditions — defocus *and* general Zernike
+    aberrations), per-corner ``dose**2`` resists with per-corner
+    thresholds, and the robust reduction.  Pass ``source=None`` for
+    baked-source (Hopkins) engines and ``weights`` for live adaptive
+    corner weights.  Returns ``(robust_loss, corner_matrix)`` with the
+    matrix shaped ``(C, B)``.
     """
-    focus = window.focus_values()
-    stack = engine.aerial_conditions(mask, source, focus)
-    aerials = [F.getitem(stack, fi) for fi in range(len(focus))]
+    conditions = window.conditions()
+    stack = engine.aerial_conditions(mask, source, conditions)
+    aerials = [F.getitem(stack, fi) for fi in range(len(conditions))]
     losses, matrix = _corner_loss_terms(aerials, target, window, config)
-    return robust_corner_loss(losses, window, robust, tau), matrix
+    return robust_corner_loss(losses, window, robust, tau, weights), matrix
+
+
+class AdaptiveCornerWeights:
+    """Soft-minimax corner reweighting by exponentiated-gradient ascent.
+
+    ``robust="adaptive"`` closes the loop on true worst-case
+    optimization: instead of a fixed weighted sum (``"sum"``) or a fixed
+    log-sum-exp temperature (``"max"``), the corner weights themselves
+    are a simplex variable ``lambda`` ascending the inner maximization
+    of
+
+        min_theta  max_{lambda in simplex}  sum_c lambda_c L_c(theta).
+
+    After each outer iteration the solvers call :meth:`update` with the
+    current per-corner losses, taking the mirror-ascent (EG) step
+
+        lambda_c  <-  lambda_c * exp(rate * L_c / mean(L)) / Z
+
+    — the multiplicative-weights update on the corner loss *shares*
+    (normalizing by ``mean(L)`` makes ``rate`` scale-free).  ``lambda``
+    is seeded from the window's normalized static weights, and
+    :attr:`weights` rescales it by the window's total weight mass so
+    adaptive losses stay magnitude-comparable with ``robust="sum"``.
+    ``floor`` lower-bounds every corner's simplex share at ``floor / C``
+    (one ``floor``-th of the uniform share) so no corner ever stops
+    being monitored entirely (a dead corner could silently regress).
+    """
+
+    @classmethod
+    def maybe(
+        cls,
+        window: Optional[ProcessWindow],
+        robust: str,
+        rate: float,
+    ) -> Optional["AdaptiveCornerWeights"]:
+        """The standard consumer wiring: an ascent instance iff
+        ``robust == "adaptive"`` and a window exists, else ``None``.
+        Every windowed objective/baseline builds (or inherits) its
+        adaptive weights through this one idiom."""
+        if robust != "adaptive" or window is None:
+            return None
+        return cls(window, rate=rate)
+
+    def __init__(
+        self, window: ProcessWindow, rate: float = 1.0, floor: float = 1e-3
+    ):
+        if rate <= 0.0:
+            raise ValueError(f"adaptive rate must be positive; got {rate}")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError(f"floor must be in [0, 1); got {floor}")
+        base = window.weights
+        self.window = window
+        self.rate = float(rate)
+        self.floor = float(floor)
+        self.total_mass = float(base.sum())
+        self.lam = base / self.total_mass
+        self._apply_floor()
+
+    def _apply_floor(self) -> None:
+        if self.floor > 0.0:
+            self.lam = np.maximum(self.lam, self.floor / self.lam.size)
+            self.lam = self.lam / self.lam.sum()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current corner weights ``(C,)`` (simplex * total mass)."""
+        return self.total_mass * self.lam
+
+    def update(self, corner_losses: np.ndarray) -> np.ndarray:
+        """One EG ascent step from per-corner losses; returns the new
+        weights.  Non-finite or non-positive loss vectors leave the
+        weights unchanged (nothing to ascend)."""
+        losses = np.asarray(corner_losses, dtype=np.float64).reshape(-1)
+        if losses.shape != self.lam.shape:
+            raise ValueError(
+                f"corner losses must be ({self.lam.size},); got {losses.shape}"
+            )
+        mean = losses.mean()
+        if not np.isfinite(mean) or mean <= 0.0:
+            return self.weights
+        z = self.rate * losses / mean
+        z -= z.max()  # constant shift cancels in the normalization
+        self.lam = self.lam * np.exp(z)
+        self.lam = self.lam / self.lam.sum()
+        self._apply_floor()
+        return self.weights
+
+
+def live_corner_weights(
+    adaptive: Optional[AdaptiveCornerWeights],
+) -> Optional[np.ndarray]:
+    """Current weight override of an (optional) adaptive ascent.
+
+    The shared accessor behind every objective's ``_robust_weights``:
+    ``None`` (use the window's static weights) when no ascent is
+    attached, the live weight vector otherwise.
+    """
+    return None if adaptive is None else adaptive.weights
+
+
+def adaptive_corner_update(
+    objective, matrix: Optional[np.ndarray] = None
+) -> Optional[np.ndarray]:
+    """Step an objective's adaptive corner weights (solver helper).
+
+    Looks for ``objective.adaptive_weights`` (an
+    :class:`AdaptiveCornerWeights`, present when the objective was built
+    with ``robust="adaptive"``) and EG-updates it from a ``(C, B)``
+    corner-loss matrix summed over tiles.  ``matrix`` defaults to the
+    objective's stashed ``last_corner_losses``; solvers whose iteration
+    re-evaluates the objective at *perturbed* points after the iterate's
+    own evaluation (BiSMO's FD hypergradient oracles) must capture the
+    matrix at the iterate and pass it explicitly, or the ascent would
+    run on perturbed losses.  Returns a copy of the current weights for
+    the iteration record, or ``None`` when the objective is not
+    adaptive — solvers call this unconditionally once per outer
+    iteration.
+    """
+    adaptive = getattr(objective, "adaptive_weights", None)
+    if adaptive is None:
+        return None
+    if matrix is None:
+        matrix = getattr(objective, "last_corner_losses", None)
+    if matrix is not None:
+        adaptive.update(np.asarray(matrix).sum(axis=1))
+    return adaptive.weights.copy()
 
 
 class ProcessWindowSMOObjective:
-    """Robust SMO loss across a dose x focus :class:`ProcessWindow`.
+    """Robust SMO loss across a dose x aberration :class:`ProcessWindow`.
 
     The condition-axis counterpart of :class:`AbbeSMOObjective` /
     :class:`BatchedSMOObjective`: one evaluation images every distinct
-    focus value of the window through the engine's fused
-    ``aerial_conditions`` stack (a single mask-spectrum FFT shared by
-    all conditions), applies each corner's exact ``dose**2`` scaling in
-    the resist model, and reduces the per-corner losses with
-    :func:`robust_corner_loss`.  With the default window
+    pupil condition of the window — defocus and general Zernike
+    aberrations alike — through the engine's fused ``aerial_conditions``
+    stack (a single mask-spectrum FFT shared by all conditions), applies
+    each corner's exact ``dose**2`` scaling (and calibrated resist
+    threshold, when set) in the resist model, and reduces the per-corner
+    losses with :func:`robust_corner_loss`.  With the default window
     (:meth:`ProcessWindow.from_config`) and ``robust="sum"`` this equals
-    the classic SMO loss exactly.
+    the classic SMO loss exactly.  ``robust="adaptive"`` attaches an
+    :class:`AdaptiveCornerWeights` ascent (``tau`` becomes the EG rate)
+    that solvers step once per outer iteration via
+    :func:`adaptive_corner_update`.
 
     ``target`` may be a single ``(N, N)`` tile or a ``(B, N, N)`` stack
     (joint multi-clip robust SMO — per-tile robust losses ride every
@@ -305,8 +492,16 @@ class ProcessWindowSMOObjective:
         self.last_corner_losses: Optional[np.ndarray] = None
         #: Per-tile robust loss vector of the latest call (batched only).
         self.last_tile_losses: Optional[np.ndarray] = None
+        #: Live minimax corner weights (``robust="adaptive"`` only).
+        self.adaptive_weights = AdaptiveCornerWeights.maybe(
+            self.window, robust, self.tau
+        )
 
     # ------------------------------------------------------------------
+    def _robust_weights(self) -> Optional[np.ndarray]:
+        """Current corner-weight override (live adaptive weights)."""
+        return live_corner_weights(self.adaptive_weights)
+
     def _check_theta_m(self, theta_m) -> None:
         if self._batched and (
             theta_m.ndim != 3 or theta_m.shape[0] != self.num_tiles
@@ -318,7 +513,10 @@ class ProcessWindowSMOObjective:
     def _reduce(self, total: ad.Tensor, matrix: np.ndarray) -> ad.Tensor:
         self.last_corner_losses = matrix
         self.last_tile_losses = (
-            robust_tile_losses(matrix, self.window, self.robust, self.tau)
+            robust_tile_losses(
+                matrix, self.window, self.robust, self.tau,
+                weights=self._robust_weights(),
+            )
             if self._batched
             else None
         )
@@ -340,12 +538,14 @@ class ProcessWindowSMOObjective:
             self.robust,
             self.tau,
             source=source,
+            weights=self._robust_weights(),
         )
         return self._reduce(total, matrix)
 
     def loss_reference(self, theta_j: ad.Tensor, theta_m: ad.Tensor) -> ad.Tensor:
-        """Per-focus reference loop: one independent imaging pass per
-        distinct focus value (no shared mask spectrum, no fused stack).
+        """Per-condition reference loop: one independent imaging pass per
+        distinct pupil condition (no shared mask spectrum, no fused
+        stack).
 
         The parity/benchmark oracle for :meth:`loss` — mathematically
         identical, structurally the pre-condition-axis consumer pattern.
@@ -360,13 +560,16 @@ class ProcessWindowSMOObjective:
         aerials = [
             F.incoherent_image(mask, stack, jn, conj_pairs=pairs)
             for stack, pairs in self.engine.condition_stacks(
-                self.window.focus_values()
+                self.window.conditions()
             )
         ]
         losses, matrix = _corner_loss_terms(
             aerials, self.target, self.window, self.config
         )
-        total = robust_corner_loss(losses, self.window, self.robust, self.tau)
+        total = robust_corner_loss(
+            losses, self.window, self.robust, self.tau,
+            weights=self._robust_weights(),
+        )
         return self._reduce(total, matrix)
 
     # ------------------------------------------------------------------
@@ -387,11 +590,13 @@ class ProcessWindowSMOObjective:
 
         Extends ``BatchedSMOObjective.source_only_loss`` across the
         condition axis: Abbe's aerial is linear in the normalized source
-        weights at *every* focus, so one intensity basis per distinct
-        focus value makes the whole robust loss an FFT-free function of
-        ``theta_J`` — the cheap inner-SO / inner-Hessian oracle BiSMO
-        uses.  Returns ``None`` for custom engines that do not expose an
-        intensity basis.
+        weights at *every* pupil condition, so one intensity basis per
+        distinct condition makes the whole robust loss an FFT-free
+        function of ``theta_J`` — the cheap inner-SO / inner-Hessian
+        oracle BiSMO uses.  Adaptive corner weights are read at *call*
+        time, so the closure tracks the minimax ascent across outer
+        iterations.  Returns ``None`` for custom engines that do not
+        expose an intensity basis.
         """
         engine = self.engine
         if not (
@@ -404,7 +609,7 @@ class ProcessWindowSMOObjective:
             masks = mask_from_theta(ad.Tensor(theta_m), self.config).data
         bases = [
             ad.Tensor(engine.source_intensity_basis(masks, stack.data))
-            for stack, _ in engine.condition_stacks(self.window.focus_values())
+            for stack, _ in engine.condition_stacks(self.window.conditions())
         ]
 
         def loss_j(theta_j: ad.Tensor) -> ad.Tensor:
@@ -415,7 +620,10 @@ class ProcessWindowSMOObjective:
             losses, matrix = _corner_loss_terms(
                 aerials, self.target, self.window, self.config
             )
-            total = robust_corner_loss(losses, self.window, self.robust, self.tau)
+            total = robust_corner_loss(
+                losses, self.window, self.robust, self.tau,
+                weights=self._robust_weights(),
+            )
             if self.reduction == "mean":
                 total = F.div(total, float(self.num_tiles))
             return total
@@ -430,26 +638,32 @@ class ProcessWindowSMOObjective:
         The nominal keys (``aerial``/``resist``/``resist_min``/
         ``resist_max``) match :class:`AbbeSMOObjective.images` so every
         downstream consumer (harness judge, metrics) keeps working:
-        they are evaluated at the window's focus value *closest to
-        zero* (exactly the in-focus condition whenever the window
-        contains one) and at the config's nominal/min/max doses;
-        ``corner_resists`` adds the ``(C, [B,] N, N)`` stack across the
-        window's actual corners and ``corner_aerials`` the per-focus
-        aerial stack.
+        they are evaluated at the window's pupil condition *closest to
+        nominal* (smallest aberration magnitude — exactly the unaberrated
+        condition whenever the window contains one) and at the config's
+        nominal/min/max doses; ``corner_resists`` adds the
+        ``(C, [B,] N, N)`` stack across the window's actual corners
+        (honoring per-corner resist thresholds) and ``corner_aerials``
+        the per-condition aerial stack.
         """
         with ad.no_grad():
             source = source_from_theta(ad.Tensor(theta_j), self.config).data
             mask = mask_from_theta(ad.Tensor(theta_m), self.config).data
-        focus = self.window.focus_values()
-        stack = self.engine.aerial_conditions_fast(mask, source, focus)
-        nominal_fi = int(np.argmin(np.abs(np.asarray(focus))))
+        conditions = self.window.conditions()
+        stack = self.engine.aerial_conditions_fast(mask, source, conditions)
+        nominal_fi = int(
+            np.argmin([ab.magnitude_nm(self.config) for ab in conditions])
+        )
         images = _resist_images_fast(stack[nominal_fi], self.config)
-        fidx = self.window.focus_index()
+        fidx = self.window.condition_index()
         with ad.no_grad():
             corner_resists = np.stack(
                 [
                     dose_resist(
-                        ad.Tensor(stack[int(fidx[ci])]), self.config, c.dose
+                        ad.Tensor(stack[int(fidx[ci])]),
+                        self.config,
+                        c.dose,
+                        c.intensity_threshold,
                     ).data
                     for ci, c in enumerate(self.window.corners)
                 ]
@@ -534,13 +748,16 @@ class HopkinsMOObjective:
     then be a matching ``(B, N, N)`` parameter stack and the loss is the
     sum over tiles, riding the engine's fused multi-tile forward).
 
-    ``window`` switches the loss to the robust dose x focus reduction of
-    :func:`robust_corner_loss` across a :class:`ProcessWindow`: focus
-    corners ride the engine's fused ``aerial_conditions`` stack (the
-    defocused SOCS kernels are exact phase multiplies of the in-focus
-    decomposition — no TCC rebuild), dose corners share each focus
-    pass.  ``robust`` / ``robust_tau`` pick weighted-sum or smooth
-    worst-case.
+    ``window`` switches the loss to the robust dose x aberration
+    reduction of :func:`robust_corner_loss` across a
+    :class:`ProcessWindow`: aberration corners ride the engine's fused
+    ``aerial_conditions`` stack (the aberrated SOCS kernels are exact
+    phase multiplies of the nominal decomposition — the arbitrary-D
+    identity, no TCC rebuild), dose corners share each condition pass.
+    ``robust`` / ``robust_tau`` pick weighted-sum, smooth worst-case, or
+    the adaptive minimax ascent (``adaptive_weights`` lets a driver like
+    AM-SMO share one live :class:`AdaptiveCornerWeights` across phases /
+    rebuilds; otherwise ``robust="adaptive"`` creates its own).
     """
 
     def __init__(
@@ -554,6 +771,7 @@ class HopkinsMOObjective:
         window: Optional[ProcessWindow] = None,
         robust: str = "sum",
         robust_tau: float = 1.0,
+        adaptive_weights: Optional[AdaptiveCornerWeights] = None,
     ):
         if robust not in ROBUST_MODES:
             raise ValueError(
@@ -579,6 +797,23 @@ class HopkinsMOObjective:
         self.last_tile_losses: Optional[np.ndarray] = None
         #: ``(C, B)`` corner/tile matrix of the latest windowed call.
         self.last_corner_losses: Optional[np.ndarray] = None
+        #: Live minimax corner weights (``robust="adaptive"`` only); a
+        #: caller-supplied instance (AM-SMO, MILT) takes precedence so
+        #: the dual variable survives phases / rebuilds.
+        if adaptive_weights is not None and robust != "adaptive":
+            raise ValueError(
+                "adaptive_weights requires robust='adaptive' (a live "
+                "ascent would silently override the static corner "
+                f"weights under robust={robust!r})"
+            )
+        self.adaptive_weights = (
+            adaptive_weights
+            if adaptive_weights is not None
+            else AdaptiveCornerWeights.maybe(window, robust, robust_tau)
+        )
+
+    def _robust_weights(self) -> Optional[np.ndarray]:
+        return live_corner_weights(self.adaptive_weights)
 
     def _build_engine(self, source: np.ndarray) -> ImagingEngine:
         if self._source_grid is not None:
@@ -612,11 +847,13 @@ class HopkinsMOObjective:
                 self.window,
                 self.robust,
                 self.robust_tau,
+                weights=self._robust_weights(),
             )
             self.last_corner_losses = matrix
             if self._batched:
                 self.last_tile_losses = robust_tile_losses(
-                    matrix, self.window, self.robust, self.robust_tau
+                    matrix, self.window, self.robust, self.robust_tau,
+                    weights=self._robust_weights(),
                 )
             return total
         aerial = self.engine.aerial(mask)

@@ -22,6 +22,11 @@ class IterationRecord:
     #: for single-tile solves.  Sums (up to the objective's reduction) to
     #: ``loss``.
     tile_losses: Optional[np.ndarray] = None
+    #: Adaptive process-corner weights ``(C,)`` after this iteration's
+    #: minimax ascent step (``robust="adaptive"`` runs only); ``None``
+    #: otherwise.  The trajectory shows which corners dominated the
+    #: worst-case objective over the run.
+    corner_weights: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -66,6 +71,25 @@ class SMOResult:
         if not self.history or self.history[-1].tile_losses is None:
             raise ValueError("history carries no per-tile losses")
         return self.history[-1].tile_losses
+
+    def corner_weight_matrix(self) -> np.ndarray:
+        """Adaptive corner-weight traces as a ``(T, C)`` array.
+
+        Only available for ``robust="adaptive"`` runs, whose records
+        carry the per-iteration minimax weights.
+        """
+        if not self.history or any(
+            r.corner_weights is None for r in self.history
+        ):
+            raise ValueError("history carries no adaptive corner weights")
+        return np.stack([r.corner_weights for r in self.history])
+
+    @property
+    def final_corner_weights(self) -> np.ndarray:
+        """Last recorded adaptive corner weights ``(C,)``."""
+        if not self.history or self.history[-1].corner_weights is None:
+            raise ValueError("history carries no adaptive corner weights")
+        return self.history[-1].corner_weights
 
     def log_losses(self) -> np.ndarray:
         """log10 of the loss trace — the quantity plotted in Figure 3."""
