@@ -42,6 +42,16 @@ def bench_dir() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def _fftlib_fingerprint() -> Optional[Dict[str, Any]]:
+    """Current :func:`repro.optics.fftlib.describe` policy, or ``None``
+    when the package is not importable (standalone recorder use)."""
+    try:
+        from repro.optics import fftlib
+    except ImportError:
+        return None
+    return fftlib.describe()
+
+
 def _git_revision() -> Optional[str]:
     try:
         out = subprocess.run(
@@ -64,8 +74,10 @@ def record_bench(
 
     ``payload`` must be JSON-serializable; the helper adds the run
     metadata (UTC timestamp, git revision, python/platform fingerprint,
-    CPU count).  A corrupt or legacy file is replaced rather than
-    crashing the benchmark that reports into it.
+    CPU count, and the live ``fftlib.describe()`` threading policy) so
+    trajectory entries are comparable across machines.  A corrupt or
+    legacy file is replaced rather than crashing the benchmark that
+    reports into it.
     """
     out = Path(path) if path is not None else bench_dir() / f"BENCH_{name}.json"
     data: Dict[str, Any] = {"name": name, "runs": []}
@@ -84,6 +96,7 @@ def record_bench(
             "python": platform.python_version(),
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
+            "fftlib": _fftlib_fingerprint(),
             "payload": payload,
         }
     )

@@ -842,6 +842,18 @@ def incoherent_image_stack(
     composed-op gradient expressions (sharing one ``fft2(mask)`` graph
     node across stacks), so second-order products through the condition
     axis stay exactly differentiable.
+
+    Condition parallelism: the per-stack streamed passes are independent
+    (they share only the read-only mask spectrum), so both the forward
+    and the streamed VJP fan them out across the
+    :func:`repro.optics.fftlib.map_conditions` thread pool
+    (``REPRO_COND_WORKERS`` / ``fftlib.set_condition_workers``; each
+    pool thread gets its share of the unified worker budget for its own
+    FFTs).  Every stack writes private buffers and the cross-stack
+    reductions run on the caller's thread in fixed stack order, so the
+    result is **bitwise identical** for any worker count — the
+    create_graph fallback and every oracle/gradcheck see the exact same
+    numbers as a serial run.
     """
     mask = as_tensor(mask)
     weights = as_tensor(weights)
@@ -870,9 +882,17 @@ def incoherent_image_stack(
     b = tiles.shape[0]
     fm = fl.fft2(tiles)  # ONE (B, N, N) spectrum for every condition
     w = weights.data
+
+    def _forward_one(fi: int) -> np.ndarray:
+        cp_f, reps_f = pair_info[fi]
+        return _stream_forward_one(fm, stacks[fi].data, w, csize, cp_f, reps_f)
+
+    # Independent per-stack passes: fan out across the condition pool
+    # (inline when serial) — each writes its own slot, so the stacking
+    # is bitwise identical for any thread count.
     out = np.empty((len(stacks), b, n, n), dtype=np.float64)
-    for fi, (st, (cp_f, reps_f)) in enumerate(zip(stacks, pair_info)):
-        out[fi] = _stream_forward_one(fm, st.data, w, csize, cp_f, reps_f)
+    for fi, plane in enumerate(fl.map_conditions(_forward_one, len(stacks))):
+        out[fi] = plane
     out_data = out[:, 0] if single else out
 
     def vjp(g: Tensor):
@@ -896,24 +916,40 @@ def _incoherent_stack_vjp_streamed(
     csize: int,
     pair_info: Tuple,
 ):
-    """Graph-free streamed gradients summed over the condition axis."""
+    """Graph-free streamed gradients summed over the condition axis.
+
+    Each stack's backward pass runs with *private* accumulation buffers
+    (its own frequency-domain mask-gradient accumulator and its own
+    weight-gradient vector), fanned out across the condition pool; the
+    cross-stack reductions then run here in fixed stack order.  The
+    per-stack buffers make an N-thread backward bitwise identical to
+    the serial one — the reduction tree does not depend on scheduling.
+    """
     fl = _get_fftlib()
     s = stacks[0].shape[0]
     single = mask.ndim == 2
     gd = g.data[:, None] if single else g.data  # (F, B, N, N)
     need_mask = mask.requires_grad
-    gw = (
-        np.zeros(s, dtype=np.complex128 if np.iscomplexobj(gd) else np.float64)
-        if weights.requires_grad
-        else None
-    )
-    acc_total = np.zeros(fm.shape, dtype=np.complex128) if need_mask else None
-    for fi, (st, (cp_f, reps_f)) in enumerate(zip(stacks, pair_info)):
+    need_w = weights.requires_grad
+    gw_dtype = np.complex128 if np.iscomplexobj(gd) else np.float64
+
+    def _backward_one(fi: int):
+        cp_f, reps_f = pair_info[fi]
+        gw_f = np.zeros(s, dtype=gw_dtype) if need_w else None
         acc = _stream_backward_one(
-            gd[fi], fm, st.data, weights.data, csize, cp_f, reps_f, need_mask, gw
+            gd[fi], fm, stacks[fi].data, weights.data, csize, cp_f, reps_f,
+            need_mask, gw_f,
         )
+        return acc, gw_f
+
+    results = fl.map_conditions(_backward_one, len(stacks))
+    gw = np.zeros(s, dtype=gw_dtype) if need_w else None
+    acc_total = np.zeros(fm.shape, dtype=np.complex128) if need_mask else None
+    for acc, gw_f in results:  # fixed stack-order reduction
         if need_mask:
             acc_total += acc
+        if need_w:
+            gw += gw_f
     gm_out = None
     if need_mask:
         gm = fl.ifft2(acc_total, overwrite_x=True)

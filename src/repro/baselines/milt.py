@@ -13,7 +13,7 @@ accelerate, the simulation).
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -118,15 +118,25 @@ class MultiLevelILT:
     def _upsample_theta(theta: np.ndarray, factor: int) -> np.ndarray:
         return np.repeat(np.repeat(theta, factor, axis=-2), factor, axis=-1)
 
-    def run(self, iterations: int = 50) -> SMOResult:
-        """Split ``iterations`` across levels (coarse levels get fewer)."""
+    def run(
+        self,
+        iterations: int = 50,
+        callback: Optional[Callable[[IterationRecord], Optional[bool]]] = None,
+    ) -> SMOResult:
+        """Split ``iterations`` across levels (coarse levels get fewer).
+
+        A truthy ``callback`` return stops the solve immediately —
+        breaking out of both the iteration and the level loop."""
         history: List[IterationRecord] = []
         start = time.perf_counter()
         theta: Optional[np.ndarray] = None
         n_levels = len(self.level_configs)
         per_level = max(1, iterations // n_levels)
         step = 0
+        stop = False
         for li, cfg in enumerate(self.level_configs):
+            if stop:
+                break
             tgt = self._downsample_target(self.target, cfg.mask_size)
             if theta is None:
                 theta = init_theta_mask(tgt, cfg)
@@ -164,17 +174,19 @@ class MultiLevelILT:
                 )
                 theta = opt.step(theta, gm.data)
                 corner_w = adaptive_corner_update(objective)
-                history.append(
-                    IterationRecord(
-                        step,
-                        float(loss.data) * scale,
-                        time.perf_counter() - t0,
-                        "mo",
-                        tile_losses=tiles,
-                        corner_weights=corner_w,
-                    )
+                rec = IterationRecord(
+                    step,
+                    float(loss.data) * scale,
+                    time.perf_counter() - t0,
+                    "mo",
+                    tile_losses=tiles,
+                    corner_weights=corner_w,
                 )
+                history.append(rec)
                 step += 1
+                if callback and callback(rec):
+                    stop = True
+                    break
         assert theta is not None
         return SMOResult(
             method=self.method_name,

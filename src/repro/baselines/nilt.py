@@ -13,7 +13,7 @@ same structural reason: truncated SOCS + no PVB objective.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -120,6 +120,7 @@ class NILTBaseline:
         self,
         iterations: int = 50,
         theta_m0: Optional[np.ndarray] = None,
+        callback: Optional[Callable[[IterationRecord], Optional[bool]]] = None,
     ) -> SMOResult:
         theta_m = (
             init_theta_mask(self.target.data, self.config)
@@ -137,16 +138,17 @@ class NILTBaseline:
             tiles = self._last_tile_losses
             theta_m = self._opt.step(theta_m, gm.data)
             corner_w = adaptive_corner_update(self)
-            history.append(
-                IterationRecord(
-                    it,
-                    float(loss.data),
-                    time.perf_counter() - t0,
-                    "mo",
-                    tile_losses=tiles,
-                    corner_weights=corner_w,
-                )
+            rec = IterationRecord(
+                it,
+                float(loss.data),
+                time.perf_counter() - t0,
+                "mo",
+                tile_losses=tiles,
+                corner_weights=corner_w,
             )
+            history.append(rec)
+            if callback and callback(rec):
+                break
         return SMOResult(
             method=self.method_name,
             theta_m=theta_m,

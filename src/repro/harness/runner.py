@@ -353,22 +353,25 @@ def _run_cell(cell: _Cell, settings: RunSettings) -> List[RunRecord]:
 
 def _worker_warmup(
     config: OpticalConfig,
-    fft_workers: Optional[int] = None,
+    worker_budget: Optional[int] = None,
     process_window: Optional[ProcessWindow] = None,
 ) -> None:
     """Process-pool initializer: pre-build the shared optics cache and
-    cap the per-process FFT thread count.
+    hand each worker its share of the unified thread budget.
 
     With N worker processes each defaulting to one pocketfft thread per
     CPU, a sharded sweep would oversubscribe every core N-fold; the
-    parent hands each worker its fair share instead.  FFT results are
-    bitwise identical for any worker count, so the sweep's
-    byte-identical-records guarantee is unaffected.
+    parent hands each worker ``cpu // N`` as its *budget*, and
+    :mod:`repro.optics.fftlib` splits that between condition-axis
+    threads and per-FFT pocketfft threads (``condition_workers x
+    per-FFT workers <= budget``).  Results are bitwise identical for
+    any split, so the sweep's byte-identical-records guarantee is
+    unaffected.
     """
     from ..optics import cache, fftlib
 
-    if fft_workers is not None:
-        fftlib.set_workers(fft_workers)
+    if worker_budget is not None:
+        fftlib.set_worker_budget(worker_budget)
     cache.warmup(config, process_window=process_window)
 
 
@@ -415,11 +418,11 @@ def run_matrix(
                 progress(_cell_label(cell))
             records.extend(_run_cell(cell, settings))
         return records
-    fft_workers = max(1, (os.cpu_count() or 1) // workers)
+    worker_budget = max(1, (os.cpu_count() or 1) // workers)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_warmup,
-        initargs=(settings.config, fft_workers, settings.process_window),
+        initargs=(settings.config, worker_budget, settings.process_window),
     ) as pool:
         futures = [pool.submit(_run_cell, cell, settings) for cell in cells]
         for cell, future in zip(cells, futures):

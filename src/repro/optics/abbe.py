@@ -30,6 +30,7 @@ unless a custom source grid is supplied.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -114,7 +115,10 @@ class AbbeImaging:
         self.num_source_points = self._pupil_stack.shape[0]
         #: Per-condition (stack, conj_pairs) memo for custom-grid engines
         #: (cache-backed engines resolve through repro.optics.cache).
+        #: Guarded by a lock: cached engines are shared across threads,
+        #: and the condition axis now fans out concurrently.
         self._condition_memo: dict = {}
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def condition_stacks(self, conditions):
@@ -143,22 +147,35 @@ class AbbeImaging:
                 out.append((stack_t, cache.conj_pairs(self.config, ab)))
             else:
                 key = ab.cache_key
-                if key not in self._condition_memo:
+                with self._memo_lock:
+                    entry = self._condition_memo.get(key)
+                if entry is None:
                     from .engine import CONDITION_MEMO_MAX
                     from .pupil import aberrated_pupil_stack, conj_pair_indices
 
-                    if len(self._condition_memo) >= CONDITION_MEMO_MAX:
-                        # Bounded FIFO: cached engines are shared, so the
-                        # memo must not grow with every condition ever seen.
-                        del self._condition_memo[next(iter(self._condition_memo))]
+                    # Build outside the lock (stacks are heavy); insert
+                    # under it, first build wins (values are
+                    # deterministic, so concurrent builders agree).
                     stack, valid_index = aberrated_pupil_stack(
                         self.config, self.source_grid, ab
                     )
-                    self._condition_memo[key] = (
+                    built = (
                         ad.Tensor(stack),
                         conj_pair_indices(stack, valid_index, self.source_grid),
                     )
-                out.append(self._condition_memo[key])
+                    with self._memo_lock:
+                        entry = self._condition_memo.get(key)
+                        if entry is None:
+                            if len(self._condition_memo) >= CONDITION_MEMO_MAX:
+                                # Bounded FIFO: cached engines are shared,
+                                # so the memo must not grow with every
+                                # condition ever seen.
+                                del self._condition_memo[
+                                    next(iter(self._condition_memo))
+                                ]
+                            self._condition_memo[key] = built
+                            entry = built
+                out.append(entry)
         return out
 
     def source_weights(self, source: ad.Tensor) -> ad.Tensor:
@@ -269,7 +286,11 @@ class AbbeImaging:
         focus_values=None,
     ) -> np.ndarray:
         """Graph-free condition-axis forward, matching
-        :meth:`aerial_conditions` numerically (inference/judge path)."""
+        :meth:`aerial_conditions` numerically (inference/judge path).
+        Per-condition passes fan out across the
+        :func:`repro.optics.fftlib.map_conditions` thread pool."""
+        from . import fftlib
+
         if focus_values is not None:
             conditions = focus_values
         if source is None:
@@ -283,10 +304,12 @@ class AbbeImaging:
         norm = float(j.sum()) + _EPS
         stacks_pairs = self.condition_stacks(conditions)
         out = np.stack(
-            [
-                incoherent_sum_fast(tiles, stack.data, j, norm)
-                for stack, _ in stacks_pairs
-            ]
+            fftlib.map_conditions(
+                lambda fi: incoherent_sum_fast(
+                    tiles, stacks_pairs[fi][0].data, j, norm
+                ),
+                len(stacks_pairs),
+            )
         )
         return out[:, 0] if single else out
 

@@ -61,6 +61,9 @@ SOCS_BUDGET_BYTES = 256 * 1024**2
 _LOCK = threading.RLock()
 _CACHES: Dict[str, "OrderedDict[Hashable, Tuple[Any, int]]"] = {}
 _STATS: Dict[str, Dict[str, int]] = {}
+#: In-flight builds (single-flight): concurrent lookups of one key wait
+#: on the first builder's event instead of duplicating the work.
+_BUILDING: Dict[Tuple[str, Hashable], threading.Event] = {}
 
 
 def _lookup(
@@ -76,33 +79,48 @@ def _lookup(
     a value to its cost (e.g. bytes) against a matching ``budget``.
     ``build`` runs outside the lock so a slow miss (a TCC
     eigendecomposition takes seconds at scale) cannot stall unrelated
-    categories; concurrent builders of one key race benignly — the
-    values are deterministic and the first insert wins.
+    categories.  Builds are *single-flight*: concurrent lookups of one
+    key park on the first builder's event and read its insert (counted
+    as a hit), so a condition-axis fan-out never duplicates a
+    pupil-stack build.  A builder that raises wakes the waiters, and the
+    first of them retries the build.
     """
-    with _LOCK:
-        cache = _CACHES.setdefault(category, OrderedDict())
-        stat = _STATS.setdefault(category, {"hits": 0, "misses": 0})
-        if key in cache:
-            stat["hits"] += 1
-            cache.move_to_end(key)
+    while True:
+        with _LOCK:
+            cache = _CACHES.setdefault(category, OrderedDict())
+            stat = _STATS.setdefault(category, {"hits": 0, "misses": 0})
+            if key in cache:
+                stat["hits"] += 1
+                cache.move_to_end(key)
+                return cache[key][0]
+            event = _BUILDING.get((category, key))
+            if event is None:
+                event = threading.Event()
+                _BUILDING[(category, key)] = event
+                stat["misses"] += 1
+                break
+        event.wait()
+    try:
+        value = build()
+        weight = weigh(value) if weigh is not None else 1
+        with _LOCK:
+            # ``clear()`` may have replaced the category dict while
+            # ``build`` ran outside the lock; re-resolve so the insert
+            # lands in the *live* dict (not an orphaned one) and the
+            # entry actually caches.
+            cache = _CACHES.setdefault(category, OrderedDict())
+            _STATS.setdefault(category, {"hits": 0, "misses": 0})
+            if key not in cache:
+                cache[key] = (value, weight)
+                total = sum(w for _, w in cache.values())
+                while total > budget and len(cache) > 1:
+                    _, (_, evicted) = cache.popitem(last=False)
+                    total -= evicted
             return cache[key][0]
-        stat["misses"] += 1
-    value = build()
-    weight = weigh(value) if weigh is not None else 1
-    with _LOCK:
-        # ``clear()`` may have replaced the category dict while ``build``
-        # ran outside the lock; re-resolve so the insert lands in the
-        # *live* dict (not an orphaned one) and the entry actually caches.
-        cache = _CACHES.setdefault(category, OrderedDict())
-        _STATS.setdefault(category, {"hits": 0, "misses": 0})
-        if key in cache:  # a concurrent builder got here first
-            return cache[key][0]
-        cache[key] = (value, weight)
-        total = sum(w for _, w in cache.values())
-        while total > budget and len(cache) > 1:
-            _, (_, evicted) = cache.popitem(last=False)
-            total -= evicted
-        return value
+    finally:
+        with _LOCK:
+            _BUILDING.pop((category, key), None)
+        event.set()
 
 
 def _freeze(arr: np.ndarray) -> np.ndarray:
@@ -326,7 +344,9 @@ def warmup(
 
     ``process_window`` (a :class:`repro.optics.config.ProcessWindow`)
     additionally pre-builds the per-condition aberrated pupil stacks and
-    conjugate pairings of its condition axis.
+    conjugate pairings of its condition axis, fanned out across the
+    :func:`repro.optics.fftlib.map_conditions` pool (the single-flight
+    ``_lookup`` guarantees each stack is still built exactly once).
     """
     freq_axes(config)
     freq_grid(config)
@@ -335,9 +355,15 @@ def warmup(
     conj_pairs(config, defocus_nm)
     abbe_engine(config, defocus_nm)
     if process_window is not None:
-        for condition in process_window.conditions():
-            pupil_stack(config, condition)
-            conj_pairs(config, condition)
+        from . import fftlib
+
+        conditions = list(process_window.conditions())
+
+        def _build_condition(fi: int) -> None:
+            pupil_stack(config, conditions[fi])
+            conj_pairs(config, conditions[fi])
+
+        fftlib.map_conditions(_build_condition, len(conditions))
 
 
 # ----------------------------------------------------------------------

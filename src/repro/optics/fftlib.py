@@ -28,6 +28,21 @@ hottest path.  ``fftlib`` centralizes the choice:
 * **Streaming chunk** — the source-axis chunk size used by the fused
   :func:`repro.autodiff.functional.incoherent_image` primitive
   (``REPRO_FFT_CHUNK`` / :func:`set_stream_chunk`).
+* **Condition workers** — the thread fan-out across *process-condition*
+  kernel stacks (``REPRO_COND_WORKERS`` / :func:`set_condition_workers`;
+  ``0`` = fill the worker budget).  The fused condition-axis primitive
+  and the engines' graph-free condition fast paths run their independent
+  per-stack passes on a persistent, lazily-created
+  ``ThreadPoolExecutor`` via :func:`map_conditions`; pocketfft releases
+  the GIL, so the passes genuinely overlap.
+* **Unified worker budget** — one cap coordinating the three parallelism
+  layers (harness worker *processes* x condition *threads* x per-FFT
+  pocketfft threads): within a process, ``condition_workers x per-FFT
+  workers <= effective_budget()``.  :func:`map_conditions` hands every
+  pool thread its share of the budget through a thread-local override,
+  and ``run_matrix(workers=N)`` gives each worker process
+  ``cpu // N`` of the machine via :func:`set_worker_budget`, so sweeps
+  never oversubscribe the cores however the layers compose.
 
 This module deliberately imports nothing from :mod:`repro` so the
 autodiff layer can depend on it without import cycles.
@@ -37,7 +52,9 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Iterator, Optional, Tuple
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +73,13 @@ __all__ = [
     "get_workers",
     "set_workers",
     "effective_workers",
+    "get_condition_workers",
+    "set_condition_workers",
+    "effective_condition_workers",
+    "get_worker_budget",
+    "set_worker_budget",
+    "effective_budget",
+    "map_conditions",
     "get_precision",
     "set_precision",
     "compute_dtypes",
@@ -99,6 +123,10 @@ _STATE = {
     "precision": os.environ.get("REPRO_FFT_PRECISION", "double").strip().lower()
     or "double",
     "chunk": _env_int("REPRO_FFT_CHUNK", 16, 1),
+    # Condition-axis thread fan-out (0 = fill the worker budget) and the
+    # unified per-process thread budget (0 = one per CPU).
+    "cond_workers": _env_int("REPRO_COND_WORKERS", 0, 0),
+    "budget": _env_int("REPRO_WORKER_BUDGET", 0, 0),
 }
 if _STATE["precision"] not in _PRECISIONS:
     raise ValueError(
@@ -143,13 +171,82 @@ def set_workers(n: int) -> None:
 
 _CPU_COUNT = os.cpu_count() or 1
 
+#: Thread-local overrides: :func:`map_conditions` hands each pool thread
+#: its slice of the worker budget here so nested FFTs cannot
+#: oversubscribe, and marks pool threads so nested fan-outs run inline.
+_TLS = threading.local()
+
 
 def effective_workers() -> int:
-    """The worker count actually handed to pocketfft (always >= 1)."""
+    """The worker count actually handed to pocketfft (always >= 1).
+
+    Inside a condition-pool thread this returns that thread's share of
+    the unified budget (set by :func:`map_conditions`); otherwise the
+    configured count, capped by :func:`effective_budget`.
+    """
+    override = getattr(_TLS, "fft_workers", None)
+    if override is not None:
+        return max(1, int(override))
     n = _STATE["workers"]
     if n == 0:
         n = _CPU_COUNT
+    return max(1, min(n, effective_budget()))
+
+
+def get_worker_budget() -> int:
+    """Configured per-process thread budget (``0`` = one per CPU)."""
+    return _STATE["budget"]
+
+
+def set_worker_budget(n: int) -> None:
+    """Cap the total threads this process may use across FFT and
+    condition workers (``0`` = auto: one per CPU).
+
+    ``run_matrix(workers=N)`` hands each worker process ``cpu // N`` so
+    process-parallel sweeps never oversubscribe the machine however the
+    per-process thread layers compose.
+    """
+    if n < 0:
+        raise ValueError(f"worker budget must be >= 0 (0 = auto); got {n}")
+    _STATE["budget"] = int(n)
+
+
+def effective_budget() -> int:
+    """The live per-process thread budget (always >= 1)."""
+    n = _STATE["budget"]
+    if n == 0:
+        n = _CPU_COUNT
     return max(1, n)
+
+
+def get_condition_workers() -> int:
+    """Configured condition-axis fan-out (``0`` = fill the budget)."""
+    return _STATE["cond_workers"]
+
+
+def set_condition_workers(n: int) -> None:
+    """Thread count for per-condition kernel-stack passes
+    (``0`` = auto: fill the worker budget; ``1`` = serial)."""
+    if n < 0:
+        raise ValueError(
+            f"condition workers must be >= 0 (0 = auto); got {n}"
+        )
+    _STATE["cond_workers"] = int(n)
+
+
+def effective_condition_workers(num_tasks: Optional[int] = None) -> int:
+    """Condition threads a fan-out of ``num_tasks`` stacks would use.
+
+    Always >= 1, never more than the budget, never more than the task
+    count (a 3-stack window cannot use a fourth thread).
+    """
+    n = _STATE["cond_workers"]
+    if n == 0:
+        n = effective_budget()
+    n = max(1, min(n, effective_budget()))
+    if num_tasks is not None:
+        n = min(n, max(1, int(num_tasks)))
+    return n
 
 
 def get_precision() -> str:
@@ -190,6 +287,8 @@ def use(
     workers: Optional[int] = None,
     precision: Optional[str] = None,
     chunk: Optional[int] = None,
+    condition_workers: Optional[int] = None,
+    budget: Optional[int] = None,
 ) -> Iterator[None]:
     """Temporarily override any subset of the dispatch policy."""
     saved = dict(_STATE)
@@ -202,6 +301,10 @@ def use(
             set_precision(precision)
         if chunk is not None:
             set_stream_chunk(chunk)
+        if condition_workers is not None:
+            set_condition_workers(condition_workers)
+        if budget is not None:
+            set_worker_budget(budget)
         yield
     finally:
         _STATE.update(saved)
@@ -215,7 +318,90 @@ def describe() -> dict:
         "effective_workers": effective_workers(),
         "precision": get_precision(),
         "stream_chunk": get_stream_chunk(),
+        "condition_workers": get_condition_workers(),
+        "effective_condition_workers": effective_condition_workers(),
+        "worker_budget": get_worker_budget(),
+        "effective_budget": effective_budget(),
+        "cpu_count": _CPU_COUNT,
     }
+
+
+# ----------------------------------------------------------------------
+# the condition-axis thread pool
+# ----------------------------------------------------------------------
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_LOCK = threading.Lock()
+
+
+def _condition_pool() -> ThreadPoolExecutor:
+    """The persistent, lazily-created condition-axis executor.
+
+    Sized once to the CPU count (the most threads that could ever help);
+    the *live* concurrency of a fan-out is bounded by how many group
+    tasks :func:`map_conditions` submits, so policy changes never force
+    a pool rebuild.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=_CPU_COUNT, thread_name_prefix="repro-cond"
+            )
+        return _POOL
+
+
+def _partition(num_tasks: int, num_groups: int) -> List[range]:
+    """Split ``range(num_tasks)`` into <= ``num_groups`` contiguous runs."""
+    base, extra = divmod(num_tasks, num_groups)
+    groups: List[range] = []
+    start = 0
+    for i in range(num_groups):
+        size = base + (1 if i < extra else 0)
+        if size:
+            groups.append(range(start, start + size))
+            start += size
+    return groups
+
+
+def map_conditions(fn: Callable[[int], object], num_tasks: int) -> list:
+    """Run ``fn(0) .. fn(num_tasks - 1)`` with the condition-axis fan-out.
+
+    Returns ``[fn(0), ..., fn(num_tasks - 1)]`` — results in index
+    order, so callers control their reduction order (and hence bitwise
+    determinism) regardless of the thread count.  The tasks are
+    partitioned into ``effective_condition_workers(num_tasks)``
+    contiguous groups, one pool task per group; each pool thread runs
+    its group serially with ``effective_budget() // groups`` pocketfft
+    workers (the unified-budget split), so condition threads times
+    per-FFT threads never exceed the budget.
+
+    Fan-outs of one task, a one-thread policy, or a call made *from* a
+    pool thread (a nested fan-out would deadlock-wait on its own
+    executor) run inline on the caller's thread.
+    """
+    if num_tasks <= 0:
+        return []
+    w = effective_condition_workers(num_tasks)
+    if w <= 1 or num_tasks <= 1 or getattr(_TLS, "in_condition_pool", False):
+        return [fn(i) for i in range(num_tasks)]
+    fft_share = max(1, effective_budget() // w)
+
+    def run_group(indices: range) -> List[Tuple[int, object]]:
+        _TLS.in_condition_pool = True
+        _TLS.fft_workers = fft_share
+        try:
+            return [(i, fn(i)) for i in indices]
+        finally:
+            _TLS.fft_workers = None
+            _TLS.in_condition_pool = False
+
+    pool = _condition_pool()
+    futures = [pool.submit(run_group, g) for g in _partition(num_tasks, w)]
+    results: list = [None] * num_tasks
+    for future in futures:
+        for i, value in future.result():
+            results[i] = value
+    return results
 
 
 # ----------------------------------------------------------------------

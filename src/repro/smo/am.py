@@ -126,7 +126,7 @@ class AMSMO:
         source_template: np.ndarray,
         theta_m0: Optional[np.ndarray] = None,
         theta_j0: Optional[np.ndarray] = None,
-        callback: Optional[Callable[[IterationRecord], None]] = None,
+        callback: Optional[Callable[[IterationRecord], Optional[bool]]] = None,
     ) -> SMOResult:
         cfg = self.config
         theta_m = (
@@ -143,7 +143,10 @@ class AMSMO:
         start = time.perf_counter()
         step = 0
         tcc_seconds = 0.0
+        stop = False  # callback early-stop, breaks all nested loops
         for _ in range(self.rounds):
+            if stop:
+                break
             # ---- SO phase (theta_M fixed) — Algorithm 1 line 3 --------
             opt_j = make_optimizer(self.so_optimizer, self.lr_so)
             tm_fixed = ad.Tensor(theta_m)
@@ -165,9 +168,12 @@ class AMSMO:
                 )
                 history.append(rec)
                 step += 1
-                if callback:
-                    callback(rec)
+                if callback and callback(rec):
+                    stop = True
+                    break
             # ---- MO phase (theta_J fixed) — Algorithm 1 line 5 --------
+            if stop:
+                break
             opt_m = make_optimizer(self.mo_optimizer, self.lr_mo)
             if self.mode == "abbe-hopkins":
                 with ad.no_grad():
@@ -206,8 +212,9 @@ class AMSMO:
                     )
                     history.append(rec)
                     step += 1
-                    if callback:
-                        callback(rec)
+                    if callback and callback(rec):
+                        stop = True
+                        break
             else:
                 tj_fixed = ad.Tensor(theta_j)
                 for _ in range(self.mo_steps):
@@ -228,8 +235,9 @@ class AMSMO:
                     )
                     history.append(rec)
                     step += 1
-                    if callback:
-                        callback(rec)
+                    if callback and callback(rec):
+                        stop = True
+                        break
         return SMOResult(
             method=self.method_name,
             theta_m=theta_m,

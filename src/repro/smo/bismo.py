@@ -281,7 +281,7 @@ class BiSMO:
         iterations: int = 40,
         theta_m0: Optional[np.ndarray] = None,
         theta_j0: Optional[np.ndarray] = None,
-        callback: Optional[Callable[[IterationRecord], None]] = None,
+        callback: Optional[Callable[[IterationRecord], Optional[bool]]] = None,
     ) -> SMOResult:
         cfg = self.config
         theta_m = (
@@ -326,8 +326,8 @@ class BiSMO:
                     corner_weights=corner_w,
                 )
                 history.append(rec)
-                if callback:
-                    callback(rec)
+                if callback and callback(rec):
+                    break
                 continue
             # ---- Alg. 2 line 2: unroll T inner SO steps ---------------
             # theta_M is fixed for the whole outer iteration, so a
@@ -380,8 +380,8 @@ class BiSMO:
                 corner_weights=corner_w,
             )
             history.append(rec)
-            if callback:
-                callback(rec)
+            if callback and callback(rec):
+                break
         return SMOResult(
             method=self.method_name,
             theta_m=theta_m,

@@ -36,7 +36,9 @@ from .state import IterationRecord, SMOResult
 
 __all__ = ["AbbeMO", "HopkinsMO"]
 
-Callback = Callable[[IterationRecord], None]
+#: Per-iteration observer; a truthy return requests an early stop
+#: (time-to-target benchmarking), ``None`` keeps the legacy behavior.
+Callback = Callable[[IterationRecord], Optional[bool]]
 
 
 class AbbeMO:
@@ -115,8 +117,8 @@ class AbbeMO:
                 corner_weights=corner_w,
             )
             history.append(rec)
-            if callback:
-                callback(rec)
+            if callback and callback(rec):
+                break
         return SMOResult(
             method=self.method_name,
             theta_m=theta_m,
@@ -191,8 +193,8 @@ class HopkinsMO:
                 corner_weights=corner_w,
             )
             history.append(rec)
-            if callback:
-                callback(rec)
+            if callback and callback(rec):
+                break
         return SMOResult(
             method=self.method_name,
             theta_m=theta_m,

@@ -55,7 +55,7 @@ class SourceOptimizer:
         theta_m: np.ndarray,
         theta_j0: np.ndarray,
         iterations: int = 30,
-        callback: Optional[Callable[[IterationRecord], None]] = None,
+        callback: Optional[Callable[[IterationRecord], Optional[bool]]] = None,
     ) -> SMOResult:
         theta_j = np.array(theta_j0, dtype=np.float64, copy=True)
         tm_fixed = ad.Tensor(theta_m)
@@ -77,8 +77,8 @@ class SourceOptimizer:
                 tile_losses=tiles,
             )
             history.append(rec)
-            if callback:
-                callback(rec)
+            if callback and callback(rec):
+                break
         return SMOResult(
             method=self.method_name,
             theta_m=np.array(theta_m, copy=True),

@@ -9,6 +9,15 @@ from repro.geometry import GridSpec, Rect, rasterize
 from repro.optics import OpticalConfig, SourceGrid, annular
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "thread_stress: concurrency stress tests; CI runs them "
+        "serialized (-m thread_stress in a dedicated step) so they "
+        "don't fight other tests for the runner's cores",
+    )
+
+
 @pytest.fixture(scope="session")
 def tiny_config() -> OpticalConfig:
     """32x32 mask over a 500 nm tile, 7x7 source — fast but physical."""
