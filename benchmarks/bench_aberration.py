@@ -56,10 +56,11 @@ from repro.smo.parametrization import (
     mask_from_theta,
     source_from_theta,
 )
+from bench_env import env_flag, env_int, env_str
 
-SCALE = os.environ.get("BISMO_AB_SCALE", "small")
-NUM_TILES = int(os.environ.get("BISMO_AB_TILES", "4"))
-CHECK_ONLY = os.environ.get("BISMO_AB_CHECK_ONLY", "0") == "1"
+SCALE = env_str("BISMO_AB_SCALE", "small")
+NUM_TILES = env_int("BISMO_AB_TILES", 4)
+CHECK_ONLY = env_flag("BISMO_AB_CHECK_ONLY")
 
 DOSES = (0.97, 1.0, 1.03)
 #: The 3-aberration condition axis: nominal, an even-parity mix

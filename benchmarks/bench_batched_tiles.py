@@ -21,7 +21,6 @@ wall-clock gate (CI check mode on shared runners).
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
@@ -33,9 +32,10 @@ from repro.layouts import dataset_by_name, tile_stack
 from repro.optics import cache, engine_for
 
 from conftest import BENCH_SCALE, BENCH_ITERS  # noqa: F401  (shared scale knobs)
+from bench_env import env_flag
 
 NUM_TILES = 8
-CHECK_ONLY = os.environ.get("BISMO_BENCH_CHECK_ONLY", "0") == "1"
+CHECK_ONLY = env_flag("BISMO_BENCH_CHECK_ONLY")
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,48 @@
+"""The benchmark suite's single door to ``BISMO_*`` environment knobs.
+
+Every benchmark reads its scale/tile/iteration overrides through the
+typed accessors here instead of touching ``os.environ`` directly; the R2
+env-registry rule (``python -m repro.analysis``) enforces that this
+module and ``repro.optics.fftlib`` are the only raw readers, and that
+every variable consumed here is declared in
+``repro.analysis.registry.DECLARED_ENV_VARS`` and documented in
+README's env-var table.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.registry import is_declared_env_var
+
+__all__ = ["env_str", "env_int", "env_flag", "env_list"]
+
+
+def _raw(name: str, default: str) -> str:
+    if not is_declared_env_var(name):
+        raise KeyError(
+            f"benchmark env var {name!r} is not declared in "
+            "repro.analysis.registry; add it there (and to README's "
+            "env-var table) before reading it"
+        )
+    return os.environ.get(name, default)
+
+
+def env_str(name: str, default: str) -> str:
+    """String-valued knob, e.g. a scale name."""
+    return _raw(name, default)
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob (tile counts, iteration budgets)."""
+    return int(_raw(name, str(default)))
+
+
+def env_flag(name: str) -> bool:
+    """Boolean knob: set to ``"1"`` to enable (the suite's convention)."""
+    return _raw(name, "0") == "1"
+
+
+def env_list(name: str, default: str) -> list[str]:
+    """Comma-separated list knob, e.g. ``BISMO_GRID_SCALES=tiny,small``."""
+    return [part.strip() for part in _raw(name, default).split(",") if part.strip()]

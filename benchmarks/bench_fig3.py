@@ -7,7 +7,6 @@ converge lowest, with CG occasionally edging NMN (Fig. 3(d)).
 
 from __future__ import annotations
 
-import os
 
 import numpy as np
 import pytest
@@ -17,8 +16,9 @@ from repro.harness.figures import FIGURE3_METHODS
 from repro.layouts import dataset_by_name
 
 from conftest import BENCH_SCALE
+from bench_env import env_int
 
-FIG3_STEPS = int(os.environ.get("BISMO_BENCH_FIG3_STEPS", "60"))
+FIG3_STEPS = env_int("BISMO_BENCH_FIG3_STEPS", 60)
 
 
 @pytest.mark.parametrize("dataset_name", ["ICCAD13", "ICCAD-L", "ISPD19"])

@@ -7,7 +7,6 @@ deviation (its occasional instability on indefinite inner Hessians).
 
 from __future__ import annotations
 
-import os
 
 import numpy as np
 import pytest
@@ -16,9 +15,10 @@ from repro.harness import RunSettings, figure5_stats
 from repro.layouts import dataset_by_name
 
 from conftest import BENCH_SCALE
+from bench_env import env_int
 
-FIG5_CLIPS = int(os.environ.get("BISMO_BENCH_FIG5_CLIPS", "2"))
-FIG5_STEPS = int(os.environ.get("BISMO_BENCH_FIG5_STEPS", "40"))
+FIG5_CLIPS = env_int("BISMO_BENCH_FIG5_CLIPS", 2)
+FIG5_STEPS = env_int("BISMO_BENCH_FIG5_STEPS", 40)
 
 
 @pytest.mark.parametrize("dataset_name", ["ICCAD13", "ICCAD-L"])

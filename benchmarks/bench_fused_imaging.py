@@ -46,10 +46,11 @@ from repro.layouts import dataset_by_name, tile_stack
 from repro.optics import AbbeImaging, OpticalConfig, fftlib
 from repro.smo import BatchedSMOObjective, BiSMO
 from repro.smo.parametrization import init_theta_mask, init_theta_source
+from bench_env import env_flag, env_int, env_str
 
-SCALE = os.environ.get("BISMO_FUSED_SCALE", "small")
-NUM_TILES = int(os.environ.get("BISMO_FUSED_TILES", "8"))
-CHECK_ONLY = os.environ.get("BISMO_FUSED_CHECK_ONLY", "0") == "1"
+SCALE = env_str("BISMO_FUSED_SCALE", "small")
+NUM_TILES = env_int("BISMO_FUSED_TILES", 8)
+CHECK_ONLY = env_flag("BISMO_FUSED_CHECK_ONLY")
 
 SPEEDUP_GATE = 1.5
 MEMORY_GATE = 4.0

@@ -55,14 +55,11 @@ from repro.smo.convergence import RelativeImprovementStopper
 from repro.smo.mo_only import AbbeMO
 from repro.smo.parametrization import init_theta_mask, init_theta_source
 from repro.smo.state import IterationRecord, SMOResult
+from bench_env import env_flag, env_int, env_list
 
-SCALES = tuple(
-    s.strip()
-    for s in os.environ.get("BISMO_GRID_SCALES", "tiny").split(",")
-    if s.strip()
-)
-NUM_TILES = int(os.environ.get("BISMO_GRID_TILES", "2"))
-CHECK_ONLY = os.environ.get("BISMO_GRID_CHECK_ONLY", "0") == "1"
+SCALES = tuple(env_list("BISMO_GRID_SCALES", "tiny"))
+NUM_TILES = env_int("BISMO_GRID_TILES", 2)
+CHECK_ONLY = env_flag("BISMO_GRID_CHECK_ONLY")
 
 DOSES = (0.96, 1.0, 1.04)
 FOCUS = (0.0, 40.0, 80.0)

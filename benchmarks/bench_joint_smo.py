@@ -31,7 +31,6 @@ size and the outer-iteration budget.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
@@ -43,14 +42,15 @@ from repro.optics import OpticalConfig
 from repro.smo import BatchedSMOObjective, BiSMO, LoopedSMOObjective
 
 from conftest import rescale_clips
+from bench_env import env_flag, env_int, env_str
 
-JOINT_SCALE = os.environ.get("BISMO_JOINT_SCALE", "tiny")
-NUM_CLIPS = int(os.environ.get("BISMO_JOINT_CLIPS", "8"))
-ITERATIONS = int(os.environ.get("BISMO_JOINT_ITERS", "2"))
+JOINT_SCALE = env_str("BISMO_JOINT_SCALE", "tiny")
+NUM_CLIPS = env_int("BISMO_JOINT_CLIPS", 8)
+ITERATIONS = env_int("BISMO_JOINT_ITERS", 2)
 #: Set to 1 to keep the exact parity asserts but skip the wall-clock
 #: gate — for CI runners whose shared cores make sub-second timings
 #: unreliable.
-CHECK_ONLY = os.environ.get("BISMO_JOINT_CHECK_ONLY", "0") == "1"
+CHECK_ONLY = env_flag("BISMO_JOINT_CHECK_ONLY")
 
 
 @pytest.fixture(scope="module")

@@ -56,10 +56,11 @@ from repro.smo.parametrization import (
     mask_from_theta,
     source_from_theta,
 )
+from bench_env import env_flag, env_int, env_str
 
-SCALE = os.environ.get("BISMO_PW_SCALE", "small")
-NUM_TILES = int(os.environ.get("BISMO_PW_TILES", "4"))
-CHECK_ONLY = os.environ.get("BISMO_PW_CHECK_ONLY", "0") == "1"
+SCALE = env_str("BISMO_PW_SCALE", "small")
+NUM_TILES = env_int("BISMO_PW_TILES", 4)
+CHECK_ONLY = env_flag("BISMO_PW_CHECK_ONLY")
 
 DOSES = (0.96, 1.0, 1.04)
 FOCUS = (0.0, 40.0, 80.0)

@@ -27,6 +27,7 @@ import subprocess
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional
+from bench_env import env_str
 
 __all__ = ["record_bench", "bench_dir", "MAX_RUNS"]
 
@@ -36,7 +37,7 @@ MAX_RUNS = 200
 
 def bench_dir() -> Path:
     """Directory holding the ``BENCH_*.json`` files (repo root)."""
-    override = os.environ.get("BISMO_BENCH_DIR", "").strip()
+    override = env_str("BISMO_BENCH_DIR", "").strip()
     if override:
         return Path(override)
     return Path(__file__).resolve().parent.parent

@@ -16,16 +16,16 @@ computed once per session and shared.
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
 from repro.harness import METHOD_ORDER, RunSettings, run_matrix
 from repro.layouts import Clip, dataset_by_name, DATASET_NAMES
+from bench_env import env_int, env_str
 
-BENCH_SCALE = os.environ.get("BISMO_BENCH_SCALE", "small")
-BENCH_CLIPS = int(os.environ.get("BISMO_BENCH_CLIPS", "1"))
-BENCH_ITERS = int(os.environ.get("BISMO_BENCH_ITERS", "25"))
+BENCH_SCALE = env_str("BISMO_BENCH_SCALE", "small")
+BENCH_CLIPS = env_int("BISMO_BENCH_CLIPS", 1)
+BENCH_ITERS = env_int("BISMO_BENCH_ITERS", 25)
 
 
 def rescale_clips(clips, config):

@@ -1,0 +1,61 @@
+"""Text and JSON renderers for reprolint reports."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .engine import Report
+from .rules import ALL_RULES
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(report: Report, *, show_waived: bool = False) -> str:
+    """Human-readable report: one ``path:line:col rule message`` per finding."""
+    out: List[str] = []
+    for finding in report.errors:
+        out.append(f"{finding.path}:{finding.line}:{finding.col} {finding.rule} {finding.message}")
+    for finding in report.findings:
+        out.append(f"{finding.path}:{finding.line}:{finding.col} {finding.rule} {finding.message}")
+    if show_waived:
+        for finding in report.waived:
+            out.append(
+                f"{finding.path}:{finding.line}:{finding.col} {finding.rule} "
+                f"[waived: {finding.waiver_reason}] {finding.message}"
+            )
+    counts = report.counts_by_rule()
+    if report.findings or report.errors:
+        summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        out.append(
+            f"reprolint: {len(report.findings)} finding(s)"
+            + (f" ({summary})" if summary else "")
+            + (f", {len(report.errors)} error(s)" if report.errors else "")
+            + f" across {report.files_checked} file(s)"
+        )
+    else:
+        waived_note = f" ({len(report.waived)} waived)" if report.waived else ""
+        out.append(f"reprolint: clean across {report.files_checked} file(s){waived_note}")
+    return "\n".join(out)
+
+
+def render_json(report: Report) -> str:
+    """Machine-readable report for CI and tooling."""
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "counts": report.counts_by_rule(),
+        "findings": [f.as_dict() for f in report.findings],
+        "waived": [f.as_dict() for f in report.waived],
+        "errors": [f.as_dict() for f in report.errors],
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` table."""
+    out: List[str] = []
+    for cls in ALL_RULES:
+        out.append(f"{cls.rule_id}  {cls.name:<16} {cls.description}")
+    return "\n".join(out)

@@ -16,7 +16,7 @@ map ``A`` is ``A^H g``.
 from __future__ import annotations
 
 import builtins
-from typing import Any, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -77,11 +77,11 @@ def tensor(data: Any, requires_grad: bool = False) -> Tensor:
     return Tensor(data, requires_grad=requires_grad)
 
 
-def zeros(shape, dtype=np.float64) -> Tensor:
+def zeros(shape: Union[int, Tuple[int, ...]], dtype: Any = np.float64) -> Tensor:
     return Tensor(np.zeros(shape, dtype=dtype))
 
 
-def ones(shape, dtype=np.float64) -> Tensor:
+def ones(shape: Union[int, Tuple[int, ...]], dtype: Any = np.float64) -> Tensor:
     return Tensor(np.ones(shape, dtype=dtype))
 
 
@@ -98,7 +98,7 @@ def ones_like(x: ArrayLike) -> Tensor:
 def _make(
     out_data: np.ndarray,
     inputs: Tuple[Tensor, ...],
-    vjp,
+    vjp: Callable[[Tensor], Sequence[Optional[Tensor]]],
     op: str,
 ) -> Tensor:
     """Assemble an op output, recording the graph edge when appropriate."""
@@ -141,7 +141,7 @@ def _binary_inputs(a: ArrayLike, b: ArrayLike) -> Tuple[Tensor, Tensor]:
 def identity(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (g,)
 
     return _make(x.data.copy(), (x,), vjp, "identity")
@@ -150,7 +150,7 @@ def identity(x: ArrayLike) -> Tensor:
 def add(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = _binary_inputs(a, b)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (sum_to(g, a.shape), sum_to(g, b.shape))
 
     return _make(a.data + b.data, (a, b), vjp, "add")
@@ -159,7 +159,7 @@ def add(a: ArrayLike, b: ArrayLike) -> Tensor:
 def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = _binary_inputs(a, b)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (sum_to(g, a.shape), sum_to(neg(g), b.shape))
 
     return _make(a.data - b.data, (a, b), vjp, "sub")
@@ -168,7 +168,7 @@ def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
 def neg(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (neg(g),)
 
     return _make(-x.data, (x,), vjp, "neg")
@@ -177,7 +177,7 @@ def neg(x: ArrayLike) -> Tensor:
 def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = _binary_inputs(a, b)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         ga = sum_to(mul(g, conj(b)), a.shape)
         gb = sum_to(mul(g, conj(a)), b.shape)
         return (ga, gb)
@@ -188,7 +188,7 @@ def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
 def div(a: ArrayLike, b: ArrayLike) -> Tensor:
     a, b = _binary_inputs(a, b)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         ga = sum_to(div(g, conj(b)), a.shape)
         gb = sum_to(neg(mul(g, conj(div(a, mul(b, b))))), b.shape)
         return (ga, gb)
@@ -201,7 +201,7 @@ def power(x: ArrayLike, p: float) -> Tensor:
     x = as_tensor(x)
     p = float(p)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(g, conj(mul(power(x, p - 1.0), p))),)
 
     return _make(x.data**p, (x,), vjp, f"power[{p}]")
@@ -214,7 +214,7 @@ def exp(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     out_data = np.exp(x.data)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(g, conj(exp(x))),)
 
     return _make(out_data, (x,), vjp, "exp")
@@ -223,7 +223,7 @@ def exp(x: ArrayLike) -> Tensor:
 def log(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (div(g, conj(x)),)
 
     return _make(np.log(x.data), (x,), vjp, "log")
@@ -232,7 +232,7 @@ def log(x: ArrayLike) -> Tensor:
 def sqrt(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (div(g, conj(mul(sqrt(x), 2.0))),)
 
     return _make(np.sqrt(x.data), (x,), vjp, "sqrt")
@@ -241,7 +241,7 @@ def sqrt(x: ArrayLike) -> Tensor:
 def sin(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(g, conj(cos(x))),)
 
     return _make(np.sin(x.data), (x,), vjp, "sin")
@@ -250,7 +250,7 @@ def sin(x: ArrayLike) -> Tensor:
 def cos(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (neg(mul(g, conj(sin(x)))),)
 
     return _make(np.cos(x.data), (x,), vjp, "cos")
@@ -259,7 +259,7 @@ def cos(x: ArrayLike) -> Tensor:
 def tanh(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         t = tanh(x)
         return (mul(g, conj(sub(1.0, mul(t, t)))),)
 
@@ -273,7 +273,7 @@ def sigmoid(x: ArrayLike) -> Tensor:
         raise TypeError("sigmoid expects a real tensor")
     out_data = _stable_sigmoid(x.data)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         s = sigmoid(x)
         return (mul(g, mul(s, sub(1.0, s))),)
 
@@ -295,7 +295,7 @@ def relu(x: ArrayLike) -> Tensor:
         raise TypeError("relu expects a real tensor")
     mask = (x.data > 0).astype(np.float64)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(g, Tensor(mask)),)
 
     return _make(x.data * mask, (x,), vjp, "relu")
@@ -309,7 +309,7 @@ def clip_for_stability(x: ArrayLike, lo: float, hi: float) -> Tensor:
     """
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (g,)
 
     return _make(np.clip(x.data, lo, hi), (x,), vjp, "clip_st")
@@ -318,12 +318,16 @@ def clip_for_stability(x: ArrayLike, lo: float, hi: float) -> Tensor:
 # ----------------------------------------------------------------------
 # reductions & shaping
 # ----------------------------------------------------------------------
-def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+def sum(
+    x: ArrayLike,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> Tensor:
     x = as_tensor(x)
     out_data = np.sum(x.data, axis=axis, keepdims=keepdims)
     in_shape = x.shape
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         if axis is None:
             return (broadcast_to(g, in_shape),)
         axes = (axis,) if isinstance(axis, int) else tuple(axis)
@@ -340,7 +344,11 @@ def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
     return _make(out_data, (x,), vjp, "sum")
 
 
-def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+def mean(
+    x: ArrayLike,
+    axis: Optional[Union[int, Tuple[int, ...]]] = None,
+    keepdims: bool = False,
+) -> Tensor:
     x = as_tensor(x)
     if axis is None:
         count = x.size
@@ -356,7 +364,7 @@ def reshape(x: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     x = as_tensor(x)
     in_shape = x.shape
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (reshape(g, in_shape),)
 
     return _make(x.data.reshape(shape), (x,), vjp, "reshape")
@@ -366,7 +374,7 @@ def broadcast_to(x: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
     x = as_tensor(x)
     in_shape = x.shape
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (sum_to(g, in_shape),)
 
     return _make(np.broadcast_to(x.data, shape).copy(), (x,), vjp, "broadcast_to")
@@ -378,7 +386,7 @@ def broadcast_to(x: ArrayLike, shape: Tuple[int, ...]) -> Tensor:
 def real(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (g,)
 
     return _make(np.real(x.data).copy(), (x,), vjp, "real")
@@ -387,7 +395,7 @@ def real(x: ArrayLike) -> Tensor:
 def imag(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(g, 1j),)
 
     return _make(np.imag(x.data).copy(), (x,), vjp, "imag")
@@ -398,7 +406,7 @@ def conj(x: ArrayLike) -> Tensor:
     if not x.is_complex:
         return x
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (conj(g),)
 
     return _make(np.conj(x.data), (x,), vjp, "conj")
@@ -409,7 +417,7 @@ def abs2(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     out_data = (x.data * np.conj(x.data)).real
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(mul(g, 2.0), x),)
 
     return _make(out_data, (x,), vjp, "abs2")
@@ -423,7 +431,7 @@ def absolute(x: ArrayLike) -> Tensor:
 def make_complex(re: ArrayLike, im: ArrayLike) -> Tensor:
     re_t, im_t = _binary_inputs(re, im)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (real(g), imag(g))
 
     return _make(re_t.data + 1j * im_t.data, (re_t, im_t), vjp, "make_complex")
@@ -432,10 +440,10 @@ def make_complex(re: ArrayLike, im: ArrayLike) -> Tensor:
 # ----------------------------------------------------------------------
 # FFTs (always over the last two axes, numpy "backward" normalization)
 # ----------------------------------------------------------------------
-_fftlib = None
+_fftlib: Any = None
 
 
-def _get_fftlib():
+def _get_fftlib() -> Any:
     """Resolve :mod:`repro.optics.fftlib` lazily.
 
     The import happens at first *call* rather than at module import so
@@ -455,7 +463,7 @@ def fft2(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     ntot = x.shape[-1] * x.shape[-2]
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(ifft2(g), float(ntot)),)
 
     return _make(_get_fftlib().fft2(x.data), (x,), vjp, "fft2")
@@ -465,7 +473,7 @@ def ifft2(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     ntot = x.shape[-1] * x.shape[-2]
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (div(fft2(g), float(ntot)),)
 
     return _make(_get_fftlib().ifft2(x.data), (x,), vjp, "ifft2")
@@ -474,7 +482,9 @@ def ifft2(x: ArrayLike) -> Tensor:
 # ----------------------------------------------------------------------
 # fused incoherent imaging (the Abbe / SOCS hot path)
 # ----------------------------------------------------------------------
-def _check_incoherent_args(mask: Tensor, pupil_stack: Tensor, weights: Tensor):
+def _check_incoherent_args(
+    mask: Tensor, pupil_stack: Tensor, weights: Tensor
+) -> Tuple[int, int]:
     """Validate shapes/dtypes shared by the fused and composed variants."""
     if pupil_stack.ndim != 3 or pupil_stack.shape[-2] != pupil_stack.shape[-1]:
         raise ValueError(
@@ -524,7 +534,7 @@ def incoherent_image_composed(
     return reshape(out, (n, n)) if single else out
 
 
-def _conj_pair_reps(conj_pairs, s: int) -> np.ndarray:
+def _conj_pair_reps(conj_pairs: Any, s: int) -> np.ndarray:
     """Validate an involutive conjugate pairing; return representatives.
 
     ``conj_pairs[i] = j`` declares ``kernel_j(f) == kernel_i(-f)``; the
@@ -540,7 +550,9 @@ def _conj_pair_reps(conj_pairs, s: int) -> np.ndarray:
     return np.nonzero(cp >= np.arange(s))[0]
 
 
-def _pair_setup(conj_pairs, s: int, real_path: bool):
+def _pair_setup(
+    conj_pairs: Any, s: int, real_path: bool
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
     """Validate a pairing and decide whether the streamed loops may use it.
 
     The involution is always validated when a pairing is supplied; it is
@@ -561,8 +573,8 @@ def _stream_forward_one(
     kern: np.ndarray,
     w: np.ndarray,
     csize: int,
-    cp: Optional[np.ndarray],
-    reps: Optional[np.ndarray],
+    cp: Any,
+    reps: Any,
 ) -> np.ndarray:
     """Streamed weighted incoherent sum for ONE kernel stack.
 
@@ -598,10 +610,10 @@ def _stream_backward_one(
     kern: np.ndarray,
     w: np.ndarray,
     csize: int,
-    cp: Optional[np.ndarray],
-    reps: Optional[np.ndarray],
+    cp: Any,
+    reps: Any,
     need_mask: bool,
-    gw: Optional[np.ndarray],
+    gw: Any,
 ) -> Optional[np.ndarray]:
     """One stack's streamed gradient contributions (graph-free).
 
@@ -626,7 +638,8 @@ def _stream_backward_one(
         r = reps.size
     else:
         kern_r, r = kern, s
-    acc = acc_mirror = None
+    acc: Any = None
+    acc_mirror: Any = None
     if need_mask:
         gd2 = 2.0 * gd  # (B, N, N)
         acc = np.zeros((b, n, n), dtype=np.complex128)
@@ -650,10 +663,13 @@ def _stream_backward_one(
             ].sum(axis=0)
             if use_pairs:
                 # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
+                # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
                 gw[reps[lo:hi]] += val
                 pc = is_pair[lo:hi]
+                # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
                 gw[mates[lo:hi][pc]] += val[pc]
             else:
+                # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
                 gw[lo:hi] += val
         if need_mask:
             fields *= gd2[:, None]  # in-place: no second block temp
@@ -735,7 +751,7 @@ def incoherent_image(
     out = _stream_forward_one(fm, pupil_stack.data, weights.data, csize, cp, reps)
     out_data = out[0] if single else out
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         if is_grad_enabled():
             # create_graph backward: fall back to the composed-op
             # gradient expressions so the returned grads are themselves
@@ -757,16 +773,16 @@ def _incoherent_vjp_streamed(
     weights: Tensor,
     fm: np.ndarray,
     csize: int,
-    cp: Optional[np.ndarray],
-    reps: Optional[np.ndarray],
-):
+    cp: Any,
+    reps: Any,
+) -> Tuple[Optional[Tensor], ...]:
     """Graph-free streamed gradients (first-order backward hot path)."""
     fl = _get_fftlib()
     s = pupil_stack.shape[0]
     single = mask.ndim == 2
     gd = g.data[None] if single else g.data
     need_mask = mask.requires_grad
-    gw = (
+    gw: Any = (
         np.zeros(s, dtype=np.complex128 if np.iscomplexobj(gd) else np.float64)
         if weights.requires_grad
         else None
@@ -783,7 +799,7 @@ def _incoherent_vjp_streamed(
 
 def _incoherent_vjp_composed(
     g: Tensor, mask: Tensor, pupil_stack: Tensor, weights: Tensor
-):
+) -> Tuple[Optional[Tensor], ...]:
     """Differentiable gradients via the composed ops (create_graph path).
 
     Rebuilds the coherent fields with graph-recording functional ops and
@@ -798,7 +814,8 @@ def _incoherent_vjp_composed(
     g4 = reshape(g, (1, 1, n, n)) if single else reshape(g, (b, 1, n, n))
     p4 = reshape(pupil_stack, (1, s, n, n))
     fields = ifft2(mul(p4, reshape(fft2(m3), (b, 1, n, n))))  # (B, S, N, N)
-    gm_out = gw_out = None
+    gm_out: Optional[Tensor] = None
+    gw_out: Optional[Tensor] = None
     if weights.requires_grad:
         gw_out = sum(mul(g4, abs2(fields)), axis=(0, 2, 3))
     if mask.requires_grad:
@@ -895,7 +912,7 @@ def incoherent_image_stack(
         out[fi] = plane
     out_data = out[:, 0] if single else out
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         if is_grad_enabled():
             return _incoherent_stack_vjp_composed(g, mask, stacks, weights)
         return _incoherent_stack_vjp_streamed(
@@ -915,7 +932,7 @@ def _incoherent_stack_vjp_streamed(
     fm: np.ndarray,
     csize: int,
     pair_info: Tuple,
-):
+) -> Tuple[Optional[Tensor], ...]:
     """Graph-free streamed gradients summed over the condition axis.
 
     Each stack's backward pass runs with *private* accumulation buffers
@@ -933,7 +950,7 @@ def _incoherent_stack_vjp_streamed(
     need_w = weights.requires_grad
     gw_dtype = np.complex128 if np.iscomplexobj(gd) else np.float64
 
-    def _backward_one(fi: int):
+    def _backward_one(fi: int) -> Tuple[Any, Any]:
         cp_f, reps_f = pair_info[fi]
         gw_f = np.zeros(s, dtype=gw_dtype) if need_w else None
         acc = _stream_backward_one(
@@ -943,8 +960,8 @@ def _incoherent_stack_vjp_streamed(
         return acc, gw_f
 
     results = fl.map_conditions(_backward_one, len(stacks))
-    gw = np.zeros(s, dtype=gw_dtype) if need_w else None
-    acc_total = np.zeros(fm.shape, dtype=np.complex128) if need_mask else None
+    gw: Any = np.zeros(s, dtype=gw_dtype) if need_w else None
+    acc_total: Any = np.zeros(fm.shape, dtype=np.complex128) if need_mask else None
     for acc, gw_f in results:  # fixed stack-order reduction
         if need_mask:
             acc_total += acc
@@ -961,7 +978,7 @@ def _incoherent_stack_vjp_streamed(
 
 def _incoherent_stack_vjp_composed(
     g: Tensor, mask: Tensor, stacks: Tuple[Tensor, ...], weights: Tensor
-):
+) -> Tuple[Optional[Tensor], ...]:
     """Differentiable gradients for the stack primitive (create_graph).
 
     Same strategy as :func:`_incoherent_vjp_composed`, applied per
@@ -973,7 +990,8 @@ def _incoherent_stack_vjp_composed(
     m3 = reshape(mask, (1, n, n)) if single else mask
     b = m3.shape[0]
     fmr = reshape(fft2(m3), (b, 1, n, n))  # shared spectrum node
-    gm_out = gw_out = None
+    gm_out: Optional[Tensor] = None
+    gw_out: Optional[Tensor] = None
     for fi, st in enumerate(stacks):
         gf = getitem(g, fi)  # (B, N, N) or (N, N)
         g4 = reshape(gf, (1, 1, n, n)) if single else reshape(gf, (b, 1, n, n))
@@ -994,19 +1012,19 @@ def _incoherent_stack_vjp_composed(
 # ----------------------------------------------------------------------
 # indexing
 # ----------------------------------------------------------------------
-def getitem(x: ArrayLike, idx) -> Tensor:
+def getitem(x: ArrayLike, idx: Any) -> Tensor:
     x = as_tensor(x)
     in_shape = x.shape
     complex_in = x.is_complex
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (scatter(g, idx, in_shape, complex_grad=complex_in),)
 
     return _make(x.data[idx].copy(), (x,), vjp, "getitem")
 
 
 def scatter(
-    x: ArrayLike, idx, shape: Tuple[int, ...], complex_grad: bool = False
+    x: ArrayLike, idx: Any, shape: Tuple[int, ...], complex_grad: bool = False
 ) -> Tensor:
     """Place ``x`` into a zeros array of ``shape`` at ``idx`` (adjoint of
     :func:`getitem`)."""
@@ -1015,7 +1033,7 @@ def scatter(
     out_data = np.zeros(shape, dtype=dtype)
     np.add.at(out_data, idx, x.data)
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (getitem(g, idx),)
 
     return _make(out_data, (x,), vjp, "scatter")
@@ -1030,7 +1048,7 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError("matmul supports 2-D operands only")
 
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         ga = matmul(g, _transpose(conj(b)))
         gb = matmul(_transpose(conj(a)), g)
         return (ga, gb)
@@ -1039,7 +1057,7 @@ def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
 
 
 def _transpose(x: Tensor) -> Tensor:
-    def vjp(g: Tensor):
+    def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (_transpose(g),)
 
     return _make(x.data.T.copy(), (x,), vjp, "transpose")

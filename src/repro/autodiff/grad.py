@@ -9,7 +9,7 @@ the test-suite.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,7 @@ def _topo_order(root: Tensor) -> List[Tensor]:
     iterative to stay safe on deep unrolled graphs.
     """
     order: List[Tensor] = []
-    visited = set()
+    visited: set[int] = set()
     stack: List[Tuple[Tensor, bool]] = [(root, False)]
     while stack:
         node, processed = stack.pop()

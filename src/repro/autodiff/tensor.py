@@ -23,7 +23,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Callable, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,7 +44,7 @@ def is_grad_enabled() -> bool:
 
 
 @contextlib.contextmanager
-def no_grad():
+def no_grad() -> Iterator[None]:
     """Context manager disabling graph recording (like ``torch.no_grad``)."""
     global _GRAD_ENABLED
     prev = _GRAD_ENABLED
@@ -56,7 +56,7 @@ def no_grad():
 
 
 @contextlib.contextmanager
-def enable_grad():
+def enable_grad() -> Iterator[None]:
     """Context manager (re-)enabling graph recording inside ``no_grad``."""
     global _GRAD_ENABLED
     prev = _GRAD_ENABLED
@@ -146,7 +146,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return self.data.item()
+        return float(self.data.item())
 
     def detach(self) -> "Tensor":
         """Return a new leaf tensor sharing this tensor's data."""
@@ -164,56 +164,56 @@ class Tensor:
     # ------------------------------------------------------------------
     # operator sugar — all delegate to the functional layer
     # ------------------------------------------------------------------
-    def __add__(self, other):  # noqa: D105
+    def __add__(self, other: Any) -> "Tensor":  # noqa: D105
         from . import functional as F
 
         return F.add(self, other)
 
     __radd__ = __add__
 
-    def __sub__(self, other):
+    def __sub__(self, other: Any) -> "Tensor":
         from . import functional as F
 
         return F.sub(self, other)
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: Any) -> "Tensor":
         from . import functional as F
 
         return F.sub(other, self)
 
-    def __mul__(self, other):
+    def __mul__(self, other: Any) -> "Tensor":
         from . import functional as F
 
         return F.mul(self, other)
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other):
+    def __truediv__(self, other: Any) -> "Tensor":
         from . import functional as F
 
         return F.div(self, other)
 
-    def __rtruediv__(self, other):
+    def __rtruediv__(self, other: Any) -> "Tensor":
         from . import functional as F
 
         return F.div(other, self)
 
-    def __neg__(self):
+    def __neg__(self) -> "Tensor":
         from . import functional as F
 
         return F.neg(self)
 
-    def __pow__(self, p):
+    def __pow__(self, p: Any) -> "Tensor":
         from . import functional as F
 
         return F.power(self, p)
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: Any) -> "Tensor":
         from . import functional as F
 
         return F.getitem(self, idx)
 
-    def __matmul__(self, other):
+    def __matmul__(self, other: Any) -> "Tensor":
         from . import functional as F
 
         return F.matmul(self, other)
@@ -221,17 +221,25 @@ class Tensor:
     # ------------------------------------------------------------------
     # method sugar
     # ------------------------------------------------------------------
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(
+        self,
+        axis: Optional[Union[int, Tuple[int, ...]]] = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         from . import functional as F
 
         return F.sum(self, axis=axis, keepdims=keepdims)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(
+        self,
+        axis: Optional[Union[int, Tuple[int, ...]]] = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         from . import functional as F
 
         return F.mean(self, axis=axis, keepdims=keepdims)
 
-    def reshape(self, *shape) -> "Tensor":
+    def reshape(self, *shape: Any) -> "Tensor":
         from . import functional as F
 
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):

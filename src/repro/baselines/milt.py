@@ -12,13 +12,13 @@ accelerate, the simulation).
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
+from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow
 from ..smo.objective import (
     AdaptiveCornerWeights,
@@ -128,7 +128,7 @@ class MultiLevelILT:
         A truthy ``callback`` return stops the solve immediately —
         breaking out of both the iteration and the level loop."""
         history: List[IterationRecord] = []
-        start = time.perf_counter()
+        start = tick()
         theta: Optional[np.ndarray] = None
         n_levels = len(self.level_configs)
         per_level = max(1, iterations // n_levels)
@@ -160,7 +160,7 @@ class MultiLevelILT:
             opt = make_optimizer(self.optimizer, self.lr)
             iters = per_level if li < n_levels - 1 else iterations - per_level * (n_levels - 1)
             for _ in range(iters):
-                t0 = time.perf_counter()
+                t0 = tick()
                 tm = ad.Tensor(theta, requires_grad=True)
                 loss = objective.loss(tm)
                 (gm,) = ad.grad(loss, [tm])
@@ -177,7 +177,7 @@ class MultiLevelILT:
                 rec = IterationRecord(
                     step,
                     float(loss.data) * scale,
-                    time.perf_counter() - t0,
+                    tick() - t0,
                     "mo",
                     tile_losses=tiles,
                     corner_weights=corner_w,
@@ -187,11 +187,15 @@ class MultiLevelILT:
                 if callback and callback(rec):
                     stop = True
                     break
-        assert theta is not None
+        if theta is None:
+            raise RuntimeError(
+                "MultiLevelILT produced no iterate; "
+                "levels/steps_per_level must be >= 1"
+            )
         return SMOResult(
             method=self.method_name,
             theta_m=theta,
             theta_j=None,
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
         )

@@ -12,7 +12,6 @@ same structural reason: truncated SOCS + no PVB objective.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
@@ -20,6 +19,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..autodiff import functional as F
 from ..opt import make_optimizer
+from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow, engine_for
 from ..smo.objective import (
     AdaptiveCornerWeights,
@@ -129,9 +129,9 @@ class NILTBaseline:
         )
         self._opt.reset()
         history = []
-        start = time.perf_counter()
+        start = tick()
         for it in range(iterations):
-            t0 = time.perf_counter()
+            t0 = tick()
             tm = ad.Tensor(theta_m, requires_grad=True)
             loss = self._loss(tm)
             (gm,) = ad.grad(loss, [tm])
@@ -141,7 +141,7 @@ class NILTBaseline:
             rec = IterationRecord(
                 it,
                 float(loss.data),
-                time.perf_counter() - t0,
+                tick() - t0,
                 "mo",
                 tile_losses=tiles,
                 corner_weights=corner_w,
@@ -154,5 +154,5 @@ class NILTBaseline:
             theta_m=theta_m,
             theta_j=None,
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
         )

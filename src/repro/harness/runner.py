@@ -47,7 +47,6 @@ from ..smo import (
 )
 
 __all__ = [
-    "MethodSpec",
     "RunRecord",
     "RunSettings",
     "METHOD_ORDER",

@@ -377,7 +377,11 @@ class AbbeImaging:
             field = F.ifft2(F.mul(h_s, fm))
             contrib = F.mul(F.getitem(j, s), F.abs2(field))
             total = contrib if total is None else F.add(total, contrib)
-        assert total is not None
+        if total is None:
+            raise RuntimeError(
+                "aerial_loop accumulated no source points; "
+                "num_source_points must be >= 1"
+            )
         return F.div(total, F.add(F.sum(j), _EPS))
 
     # ------------------------------------------------------------------

@@ -15,9 +15,12 @@ the paper-scale preset remains available.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: zernike imports OpticalConfig
+    from .zernike import PupilAberration
 
 __all__ = ["OpticalConfig", "ProcessCorner", "ProcessWindow"]
 
@@ -140,7 +143,7 @@ class OpticalConfig:
             raise KeyError(f"unknown preset {name!r}; choose from {sorted(presets)}")
         return presets[name]
 
-    def with_(self, **kwargs) -> "OpticalConfig":
+    def with_(self, **kwargs: Any) -> "OpticalConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kwargs)
 
@@ -184,7 +187,7 @@ class ProcessCorner:
     defocus_nm: float = 0.0
     weight: float = 1.0
     label: str = ""
-    aberrations: object = None
+    aberrations: Any = None
     intensity_threshold: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -265,14 +268,14 @@ class ProcessWindow:
     def labels(self) -> Tuple[str, ...]:
         return tuple(c.label for c in self.corners)
 
-    def conditions(self) -> Tuple:
+    def conditions(self) -> Tuple["PupilAberration", ...]:
         """Distinct pupil-aberration specs in first-appearance order.
 
         Each entry is one imaging pass (one aberrated pupil stack,
         shared through :mod:`repro.optics.cache`); all corners are
         resolved against this tuple by :meth:`condition_index`.
         """
-        seen: dict = {}
+        seen: Dict[Any, "PupilAberration"] = {}
         for c in self.corners:
             seen.setdefault(c.aberrations.cache_key, c.aberrations)
         return tuple(seen.values())
@@ -289,14 +292,14 @@ class ProcessWindow:
         astigmatism / coma / spherical (or raw-map) conditions raise a
         pointer to :meth:`conditions`.
         """
-        vals = []
+        vals: List[float] = []
         for ab in self.conditions():
             if not ab.is_pure_defocus:
                 raise ValueError(
                     "window has non-defocus aberration conditions "
                     f"({ab.label}); use conditions()/condition_index()"
                 )
-            vals.append(ab.defocus_nm)
+            vals.append(float(ab.defocus_nm))
         return tuple(vals)
 
     def focus_index(self) -> np.ndarray:
@@ -340,7 +343,7 @@ class ProcessWindow:
         doses: Sequence[float],
         focus_nm: Sequence[float] = (0.0,),
         weights: Optional[Sequence[float]] = None,
-        aberrations: Sequence = (),
+        aberrations: Sequence[Any] = (),
     ) -> "ProcessWindow":
         """Full dose x condition grid, dose-major corner order.
 
@@ -360,7 +363,7 @@ class ProcessWindow:
         ) + tuple(PupilAberration.coerce(a) for a in aberrations)
         if not doses or not conditions:
             raise ValueError("need at least one dose and one condition")
-        seen: dict = {}
+        seen: Dict[Any, "PupilAberration"] = {}
         for ab in conditions:
             if ab.cache_key in seen:
                 # A duplicate would silently double the condition's

@@ -54,7 +54,7 @@ import contextlib
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, cast
 
 import numpy as np
 
@@ -117,7 +117,7 @@ def _env_int(var: str, default: int, minimum: int) -> int:
 
 
 #: Mutable module state (one process-wide policy, like the optics cache).
-_STATE = {
+_STATE: Dict[str, Any] = {
     "backend": _env_backend(),
     "workers": _env_int("REPRO_FFT_WORKERS", 0, 0),  # 0 = one per CPU
     "precision": os.environ.get("REPRO_FFT_PRECISION", "double").strip().lower()
@@ -143,7 +143,7 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def get_backend() -> str:
-    return _STATE["backend"]
+    return str(_STATE["backend"])
 
 
 def set_backend(name: str) -> None:
@@ -160,7 +160,7 @@ def set_backend(name: str) -> None:
 
 def get_workers() -> int:
     """Configured worker count (``0`` means one per CPU)."""
-    return _STATE["workers"]
+    return int(_STATE["workers"])
 
 
 def set_workers(n: int) -> None:
@@ -187,7 +187,7 @@ def effective_workers() -> int:
     override = getattr(_TLS, "fft_workers", None)
     if override is not None:
         return max(1, int(override))
-    n = _STATE["workers"]
+    n = int(_STATE["workers"])
     if n == 0:
         n = _CPU_COUNT
     return max(1, min(n, effective_budget()))
@@ -195,7 +195,7 @@ def effective_workers() -> int:
 
 def get_worker_budget() -> int:
     """Configured per-process thread budget (``0`` = one per CPU)."""
-    return _STATE["budget"]
+    return int(_STATE["budget"])
 
 
 def set_worker_budget(n: int) -> None:
@@ -213,7 +213,7 @@ def set_worker_budget(n: int) -> None:
 
 def effective_budget() -> int:
     """The live per-process thread budget (always >= 1)."""
-    n = _STATE["budget"]
+    n = int(_STATE["budget"])
     if n == 0:
         n = _CPU_COUNT
     return max(1, n)
@@ -221,7 +221,7 @@ def effective_budget() -> int:
 
 def get_condition_workers() -> int:
     """Configured condition-axis fan-out (``0`` = fill the budget)."""
-    return _STATE["cond_workers"]
+    return int(_STATE["cond_workers"])
 
 
 def set_condition_workers(n: int) -> None:
@@ -240,7 +240,7 @@ def effective_condition_workers(num_tasks: Optional[int] = None) -> int:
     Always >= 1, never more than the budget, never more than the task
     count (a 3-stack window cannot use a fourth thread).
     """
-    n = _STATE["cond_workers"]
+    n = int(_STATE["cond_workers"])
     if n == 0:
         n = effective_budget()
     n = max(1, min(n, effective_budget()))
@@ -250,7 +250,7 @@ def effective_condition_workers(num_tasks: Optional[int] = None) -> int:
 
 
 def get_precision() -> str:
-    return _STATE["precision"]
+    return str(_STATE["precision"])
 
 
 def set_precision(precision: str) -> None:
@@ -272,7 +272,7 @@ def compute_dtypes() -> Tuple[np.dtype, np.dtype]:
 
 def get_stream_chunk() -> int:
     """Source-axis chunk size for the streamed fused primitive."""
-    return _STATE["chunk"]
+    return int(_STATE["chunk"])
 
 
 def set_stream_chunk(n: int) -> None:
@@ -310,7 +310,7 @@ def use(
         _STATE.update(saved)
 
 
-def describe() -> dict:
+def describe() -> Dict[str, Any]:
     """Snapshot of the live policy (for bench metadata / debugging)."""
     return {
         "backend": get_backend(),
@@ -414,8 +414,9 @@ def fft2(x: np.ndarray, overwrite_x: bool = False) -> np.ndarray:
     must own ``x``); the numpy backend ignores it.
     """
     if _STATE["backend"] == "scipy":
-        return _scipy_fft.fft2(
-            x, workers=effective_workers(), overwrite_x=overwrite_x
+        return cast(
+            np.ndarray,
+            _scipy_fft.fft2(x, workers=effective_workers(), overwrite_x=overwrite_x),
         )
     return np.fft.fft2(x)
 
@@ -427,8 +428,9 @@ def ifft2(x: np.ndarray, overwrite_x: bool = False) -> np.ndarray:
     must own ``x``); the numpy backend ignores it.
     """
     if _STATE["backend"] == "scipy":
-        return _scipy_fft.ifft2(
-            x, workers=effective_workers(), overwrite_x=overwrite_x
+        return cast(
+            np.ndarray,
+            _scipy_fft.ifft2(x, workers=effective_workers(), overwrite_x=overwrite_x),
         )
     return np.fft.ifft2(x)
 
@@ -436,7 +438,7 @@ def ifft2(x: np.ndarray, overwrite_x: bool = False) -> np.ndarray:
 def fftfreq(n: int, d: float = 1.0) -> np.ndarray:
     """FFT sample frequencies (identical across backends)."""
     if _STATE["backend"] == "scipy":
-        return _scipy_fft.fftfreq(n, d=d)
+        return cast(np.ndarray, _scipy_fft.fftfreq(n, d=d))
     return np.fft.fftfreq(n, d=d)
 
 

@@ -59,7 +59,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from math import factorial
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -216,7 +216,7 @@ def parse_aberration_spec(spec: str) -> Dict[str, float]:
     return out
 
 
-def _coerce_terms(terms) -> Tuple[Tuple[str, float], ...]:
+def _coerce_terms(terms: Any) -> Tuple[Tuple[str, float], ...]:
     """Canonical term tuple: validated names, zeros dropped, Noll order."""
     if terms is None:
         return ()
@@ -246,6 +246,10 @@ class PupilAberration:
     :class:`repro.optics.config.ProcessCorner` and ride
     ``RunSettings`` across the harness process pool.
     """
+
+    #: The shared nominal (no-aberration) spec; assigned after the class
+    #: body (it needs a constructed instance).
+    NULL: ClassVar["PupilAberration"]
 
     terms: Tuple[Tuple[str, float], ...] = ()
     custom: Optional[np.ndarray] = None
@@ -315,11 +319,11 @@ class PupilAberration:
     # identity
     # ------------------------------------------------------------------
     @property
-    def cache_key(self) -> Tuple:
+    def cache_key(self) -> Tuple[Tuple[Tuple[str, float], ...], Optional[str]]:
         """Hashable canonical identity (terms + custom-map digest)."""
         return (self.terms, self._digest)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, PupilAberration):
             return NotImplemented
         return self.cache_key == other.cache_key

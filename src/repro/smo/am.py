@@ -15,13 +15,13 @@ figure harness can reproduce it.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
+from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow
 from .objective import (
     AbbeSMOObjective,
@@ -140,7 +140,7 @@ class AMSMO:
             else np.array(theta_j0, dtype=np.float64, copy=True)
         )
         history = []
-        start = time.perf_counter()
+        start = tick()
         step = 0
         tcc_seconds = 0.0
         stop = False  # callback early-stop, breaks all nested loops
@@ -151,7 +151,7 @@ class AMSMO:
             opt_j = make_optimizer(self.so_optimizer, self.lr_so)
             tm_fixed = ad.Tensor(theta_m)
             for _ in range(self.so_steps):
-                t0 = time.perf_counter()
+                t0 = tick()
                 tj = ad.Tensor(theta_j, requires_grad=True)
                 loss = self.objective.loss(tj, tm_fixed)
                 (gj,) = ad.grad(loss, [tj])
@@ -161,7 +161,7 @@ class AMSMO:
                 rec = IterationRecord(
                     step,
                     float(loss.data),
-                    time.perf_counter() - t0,
+                    tick() - t0,
                     "so",
                     tile_losses=tiles,
                     corner_weights=corner_w,
@@ -178,7 +178,7 @@ class AMSMO:
             if self.mode == "abbe-hopkins":
                 with ad.no_grad():
                     source = source_from_theta(ad.Tensor(theta_j), cfg).data
-                t0 = time.perf_counter()
+                t0 = tick()
                 hop = HopkinsMOObjective(
                     cfg,
                     self.target,
@@ -193,9 +193,9 @@ class AMSMO:
                         self.objective, "adaptive_weights", None
                     ),
                 )
-                tcc_seconds += time.perf_counter() - t0
+                tcc_seconds += tick() - t0
                 for _ in range(self.mo_steps):
-                    t0 = time.perf_counter()
+                    t0 = tick()
                     tm = ad.Tensor(theta_m, requires_grad=True)
                     loss = hop.loss(tm)
                     (gm,) = ad.grad(loss, [tm])
@@ -205,7 +205,7 @@ class AMSMO:
                     rec = IterationRecord(
                         step,
                         float(loss.data),
-                        time.perf_counter() - t0,
+                        tick() - t0,
                         "mo",
                         tile_losses=tiles,
                         corner_weights=corner_w,
@@ -218,7 +218,7 @@ class AMSMO:
             else:
                 tj_fixed = ad.Tensor(theta_j)
                 for _ in range(self.mo_steps):
-                    t0 = time.perf_counter()
+                    t0 = tick()
                     tm = ad.Tensor(theta_m, requires_grad=True)
                     loss = self.objective.loss(tj_fixed, tm)
                     (gm,) = ad.grad(loss, [tm])
@@ -228,7 +228,7 @@ class AMSMO:
                     rec = IterationRecord(
                         step,
                         float(loss.data),
-                        time.perf_counter() - t0,
+                        tick() - t0,
                         "mo",
                         tile_losses=tiles,
                         corner_weights=corner_w,
@@ -243,6 +243,6 @@ class AMSMO:
             theta_m=theta_m,
             theta_j=theta_j,
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
             extra={"tcc_seconds": tcc_seconds},
         )

@@ -30,7 +30,7 @@ and HVPs flow through the fused batched forward and every
 
 from __future__ import annotations
 
-import time
+from functools import partial
 from typing import Callable, Optional, Tuple
 
 import numpy as np
@@ -39,6 +39,7 @@ from .. import autodiff as ad
 from ..autodiff import functional as F
 from ..opt import make_optimizer
 from ..optics import OpticalConfig, ProcessWindow
+from ..utils.timing import tick
 from .objective import (
     AbbeSMOObjective,
     BatchedSMOObjective,
@@ -238,6 +239,7 @@ class BiSMO:
         process_window: Optional[ProcessWindow] = None,
         robust: str = "sum",
         robust_tau: float = 1.0,
+        seed: int = 0,
     ):
         self.config = config
         self.target = np.asarray(target, dtype=np.float64)
@@ -252,7 +254,12 @@ class BiSMO:
         else:
             self.objective = AbbeSMOObjective(config, self.target)
         self.method = method.lower()
+        self.seed = int(seed)
         self._hyper_fn = _resolve_method(method)
+        if self.method == "nmn" and self._hyper_fn is not None:
+            # nmn's safeguard draws a power-iteration start vector; key
+            # it on the solver's seed (routed via repro.utils.seed).
+            self._hyper_fn = partial(self._hyper_fn, seed=self.seed)
         if self._hyper_fn is None and inner_optimizer.lower() != "sgd":
             raise ValueError(
                 "BiSMO-UNROLL differentiates through plain SGD inner "
@@ -298,9 +305,9 @@ class BiSMO:
         outer_opt = make_optimizer(self.outer_optimizer, self.outer_lr)
         warm: Optional[np.ndarray] = None
         history = []
-        start = time.perf_counter()
+        start = tick()
         for it in range(iterations):
-            t0 = time.perf_counter()
+            t0 = tick()
             if self._hyper_fn is None:
                 # BiSMO-UNROLL: reverse-mode differentiation through the
                 # inner loop (the memory-heavy reference strategy).
@@ -320,7 +327,7 @@ class BiSMO:
                 rec = IterationRecord(
                     it,
                     loss_value,
-                    time.perf_counter() - t0,
+                    tick() - t0,
                     "bilevel",
                     tile_losses=tile_losses,
                     corner_weights=corner_w,
@@ -374,7 +381,7 @@ class BiSMO:
             rec = IterationRecord(
                 it,
                 ctx.loss_value,
-                time.perf_counter() - t0,
+                tick() - t0,
                 "bilevel",
                 tile_losses=tile_losses,
                 corner_weights=corner_w,
@@ -387,5 +394,5 @@ class BiSMO:
             theta_m=theta_m,
             theta_j=theta_j,
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
         )

@@ -16,13 +16,13 @@ or batched.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
+from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow
 from .objective import (
     AbbeSMOObjective,
@@ -99,9 +99,9 @@ class AbbeMO:
         )
         self._opt.reset()
         history = []
-        start = time.perf_counter()
+        start = tick()
         for it in range(iterations):
-            t0 = time.perf_counter()
+            t0 = tick()
             tm = ad.Tensor(theta_m, requires_grad=True)
             loss = self.objective.loss(self._theta_j_fixed, tm)
             (gm,) = ad.grad(loss, [tm])
@@ -111,7 +111,7 @@ class AbbeMO:
             rec = IterationRecord(
                 it,
                 float(loss.data),
-                time.perf_counter() - t0,
+                tick() - t0,
                 "mo",
                 tile_losses=tiles,
                 corner_weights=corner_w,
@@ -124,7 +124,7 @@ class AbbeMO:
             theta_m=theta_m,
             theta_j=self._theta_j_fixed.data.copy(),
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
         )
 
 
@@ -175,9 +175,9 @@ class HopkinsMO:
         )
         self._opt.reset()
         history = []
-        start = time.perf_counter()
+        start = tick()
         for it in range(iterations):
-            t0 = time.perf_counter()
+            t0 = tick()
             tm = ad.Tensor(theta_m, requires_grad=True)
             loss = self.objective.loss(tm)
             (gm,) = ad.grad(loss, [tm])
@@ -187,7 +187,7 @@ class HopkinsMO:
             rec = IterationRecord(
                 it,
                 float(loss.data),
-                time.perf_counter() - t0,
+                tick() - t0,
                 "mo",
                 tile_losses=tiles,
                 corner_weights=corner_w,
@@ -200,5 +200,5 @@ class HopkinsMO:
             theta_m=theta_m,
             theta_j=None,
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
         )

@@ -18,13 +18,18 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..opt import neumann_inverse_hvp
+from ..utils.seed import seeded_rng
 from .bismo import HypergradientContext
 
 __all__ = ["neumann_hypergradient"]
 
 
 def _safe_series_lr(
-    ctx: HypergradientContext, inner_lr: float, power_iters: int = 3
+    ctx: HypergradientContext,
+    inner_lr: float,
+    power_iters: int = 3,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> float:
     """Largest safe Neumann step: min(xi, 0.9 / lambda_max(H)).
 
@@ -33,8 +38,14 @@ def _safe_series_lr(
     pixels) develops curvature well above 2/xi during optimization, which
     would make the raw series diverge, so the spectral radius is
     estimated with a few power iterations and the step clipped.
+
+    The starting vector comes from a generator derived per call (via
+    :func:`repro.utils.seed.seeded_rng`, keyed on ``seed``) so every
+    call with the same seed draws the identical ``v`` regardless of how
+    many hypergradients ran before it; pass ``rng`` to override.
     """
-    rng = np.random.default_rng(0)
+    if rng is None:
+        rng = seeded_rng("bismo", "nmn", "power-iteration", seed)
     v = rng.standard_normal(ctx.grad_j.shape)
     norm = float(np.linalg.norm(v))
     if norm == 0.0:
@@ -60,16 +71,19 @@ def neumann_hypergradient(
     terms: int,
     damping: float,
     warm: Optional[np.ndarray],
+    seed: int = 0,
 ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Eq. (16): truncated-Neumann inverse-Hessian hypergradient.
 
     With ``terms == 0`` the series degenerates to ``xi * v`` and this
     reduces exactly to :func:`repro.smo.fd.fd_hypergradient`
     (Section 3.2.4).  ``damping``/``warm`` unused (interface parity).
+    ``seed`` keys the power-iteration start vector of the safeguard
+    (``BiSMO(seed=...)`` threads it through).
     """
     del damping
     v = ctx.grad_j
-    lr = _safe_series_lr(ctx, inner_lr) if terms > 0 else inner_lr
+    lr = _safe_series_lr(ctx, inner_lr, seed=seed) if terms > 0 else inner_lr
     inv_hvp = neumann_inverse_hvp(ctx.hvp, v, terms=terms, lr=lr)
     hyper = ctx.grad_m - ctx.mixed_vjp(inv_hvp)
     return hyper, warm

@@ -233,7 +233,8 @@ def robust_corner_loss(
         for loss, w in zip(corner_losses, w_arr):
             term = F.mul(loss, float(w))
             total = term if total is None else F.add(total, term)
-        assert total is not None
+        if total is None:
+            raise ValueError("robust_corner_loss needs at least one corner loss")
         return total
     if tau <= 0.0:
         raise ValueError(f"tau must be positive; got {tau}")
@@ -242,7 +243,8 @@ def robust_corner_loss(
     for loss, w in zip(corner_losses, w_arr):
         term = F.mul(F.exp(F.div(F.sub(loss, shift), float(tau))), float(w))
         acc = term if acc is None else F.add(acc, term)
-    assert acc is not None
+    if acc is None:
+        raise ValueError("robust_corner_loss needs at least one corner loss")
     return F.add(F.mul(F.log(acc), float(tau)), shift)
 
 
@@ -1031,7 +1033,8 @@ class LoopedSMOObjective:
             li = objective.loss(theta_j, F.getitem(theta_m, i))
             per_tile[i] = float(li.data)
             total = li if total is None else F.add(total, li)
-        assert total is not None
+        if total is None:
+            raise RuntimeError("LoopedSMOObjective has no tiles to accumulate")
         self.last_tile_losses = per_tile
         if self.reduction == "mean":
             total = F.div(total, float(self.num_tiles))

@@ -7,13 +7,13 @@ inner phase of AM-SMO.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 import numpy as np
 
 from .. import autodiff as ad
 from ..opt import make_optimizer
+from ..utils.timing import tick
 from ..optics import OpticalConfig
 from .objective import AbbeSMOObjective, BatchedSMOObjective
 from .parametrization import init_theta_source
@@ -61,9 +61,9 @@ class SourceOptimizer:
         tm_fixed = ad.Tensor(theta_m)
         self._opt.reset()
         history = []
-        start = time.perf_counter()
+        start = tick()
         for it in range(iterations):
-            t0 = time.perf_counter()
+            t0 = tick()
             tj = ad.Tensor(theta_j, requires_grad=True)
             loss = self.objective.loss(tj, tm_fixed)
             (gj,) = ad.grad(loss, [tj])
@@ -72,7 +72,7 @@ class SourceOptimizer:
             rec = IterationRecord(
                 it,
                 float(loss.data),
-                time.perf_counter() - t0,
+                tick() - t0,
                 "so",
                 tile_losses=tiles,
             )
@@ -84,5 +84,5 @@ class SourceOptimizer:
             theta_m=np.array(theta_m, copy=True),
             theta_j=theta_j,
             history=history,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=tick() - start,
         )

@@ -6,7 +6,7 @@ import contextlib
 import time
 from typing import Callable, Iterator, Optional, TypeVar
 
-__all__ = ["Timer", "timed"]
+__all__ = ["Timer", "timed", "tick"]
 
 T = TypeVar("T")
 
@@ -32,7 +32,8 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
+        if self._start is None:
+            raise RuntimeError("Timer.__exit__ without a matching __enter__")
         self.elapsed += time.perf_counter() - self._start
         self.count += 1
         self._start = None
@@ -52,3 +53,14 @@ def timed(fn: Callable[[], T]) -> tuple[T, float]:
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def tick() -> float:
+    """The project's wall-clock read (monotonic, for runtime metrics).
+
+    Library code (solvers recording ``runtime_seconds``, time-to-target
+    stopping) must take timestamps through here rather than calling
+    ``time.*`` directly — the R5 determinism rule enforces it, keeping
+    every wall-clock dependency behind one seam.
+    """
+    return time.perf_counter()

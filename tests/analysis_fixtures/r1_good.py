@@ -1,0 +1,12 @@
+"""R1 fixture (clean): all transforms go through the fftlib seam.
+
+Linted as module ``repro.optics.sim_fixture``.
+"""
+
+from repro.optics import fftlib
+
+__all__ = ["spectrum"]
+
+
+def spectrum(field):
+    return fftlib.fft2(field)

@@ -1,0 +1,15 @@
+"""R2 fixture (violations): governed env vars read the wrong way.
+
+Linted as module ``benchmarks.bench_rogue``: an *undeclared* BISMO_ knob
+and a declared knob read outside the raw-reader allow-list both flag.
+"""
+
+import os
+
+__all__ = ["knobs"]
+
+
+def knobs():
+    secret = os.environ.get("BISMO_NOT_A_REAL_KNOB", "")
+    scale = os.getenv("BISMO_BENCH_SCALE", "default")
+    return secret, scale

@@ -1,0 +1,13 @@
+"""R2 fixture (clean): a declared knob read inside a raw-reader module.
+
+Linted as module ``benchmarks.bench_env`` (one of the two modules the
+registry allows to touch ``os.environ`` for governed variables).
+"""
+
+import os
+
+__all__ = ["scale"]
+
+
+def scale():
+    return os.environ.get("BISMO_BENCH_SCALE", "default")

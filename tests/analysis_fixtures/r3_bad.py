@@ -1,0 +1,22 @@
+"""R3 fixture (violations): memo mutations outside the module lock.
+
+Linted as module ``repro.optics.cache_fixture``; the subscript write,
+the ``pop`` and the ``clear`` all flag.
+"""
+
+import threading
+
+__all__ = ["remember", "forget"]
+
+_LOCK = threading.Lock()
+_MEMO = {}
+
+
+def remember(key, value):
+    _MEMO[key] = value
+    return value
+
+
+def forget(key):
+    _MEMO.pop(key, None)
+    _MEMO.clear()

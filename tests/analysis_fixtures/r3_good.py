@@ -1,0 +1,18 @@
+"""R3 fixture (clean): memo writes stay inside the module lock.
+
+Linted as module ``repro.optics.cache_fixture``.
+"""
+
+import threading
+
+__all__ = ["remember"]
+
+_LOCK = threading.Lock()
+_MEMO = {}
+
+
+def remember(key, value):
+    with _LOCK:
+        _MEMO[key] = value
+        _MEMO.setdefault(key, value)
+    return value

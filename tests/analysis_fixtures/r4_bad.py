@@ -1,0 +1,29 @@
+"""R4 fixture (violations): in-place mutation of autodiff arguments.
+
+Linted as module ``repro.autodiff.ops_fixture``: the augmented assign,
+the element write, the ``out=`` alias and the mutator call all flag —
+any of them could corrupt an array saved by a VJP closure.
+"""
+
+import numpy as np
+
+__all__ = ["accumulate", "stamp", "alias_out", "wipe"]
+
+
+def accumulate(x, delta):
+    x += delta
+    return x
+
+
+def stamp(buf, idx, value):
+    buf[idx] = value
+    return buf
+
+
+def alias_out(a, b, out):
+    return np.multiply(a, b, out=out)
+
+
+def wipe(x):
+    x.fill(0.0)
+    return x

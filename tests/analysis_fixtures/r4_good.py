@@ -1,0 +1,14 @@
+"""R4 fixture (clean): autodiff helper copies before mutating.
+
+Linted as module ``repro.autodiff.ops_fixture``.
+"""
+
+import numpy as np
+
+__all__ = ["scaled"]
+
+
+def scaled(x, factor):
+    out = np.array(x, dtype=np.float64)
+    out *= factor
+    return out

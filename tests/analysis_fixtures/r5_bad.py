@@ -1,0 +1,32 @@
+"""R5 fixture (violations): nondeterminism sources in library code.
+
+Linted as module ``repro.smo.rand_fixture``: the unseeded generator, the
+legacy global-state sampler, the set-order float accumulation and the
+raw wall-clock read all flag.
+"""
+
+import time
+
+import numpy as np
+
+__all__ = ["start_vector", "legacy", "wobbly_total", "stamp"]
+
+
+def start_vector(n):
+    rng = np.random.default_rng()
+    return rng.standard_normal(n)
+
+
+def legacy(n):
+    return np.random.rand(n)
+
+
+def wobbly_total(values):
+    total = 0.0
+    for v in set(values):
+        total += v
+    return total
+
+
+def stamp():
+    return time.perf_counter()

@@ -1,0 +1,19 @@
+"""R5 fixture (clean): seeded randomness, no wall-clock in library code.
+
+Linted as module ``repro.smo.rand_fixture``.
+"""
+
+import numpy as np
+
+from repro.utils.timing import tick
+
+__all__ = ["start_vector", "stamp"]
+
+
+def start_vector(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n)
+
+
+def stamp():
+    return tick()

@@ -1,0 +1,21 @@
+"""R6 fixture (violations): ad-hoc pools outside fftlib and the harness.
+
+Linted as module ``repro.smo.pool_fixture``: a solver spinning up its
+own executor or thread bypasses the unified worker budget.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["run_all", "spawn"]
+
+
+def run_all(fn, items):
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        return list(pool.map(fn, items))
+
+
+def spawn(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    return worker

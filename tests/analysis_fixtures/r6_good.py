@@ -1,0 +1,14 @@
+"""R6 fixture (clean): pool construction where the budget says it may live.
+
+Linted as module ``repro.harness.pool_fixture`` (the harness owns the
+process axis of the unified worker budget).
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["run_all"]
+
+
+def run_all(fn, items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,12 @@
+"""R7 fixture (violations): assert statements in library code.
+
+Linted as module ``repro.smo.guard_fixture``; asserts vanish under
+``python -O``, so invariants must be raised as real exceptions.
+"""
+
+__all__ = ["positive"]
+
+
+def positive(x):
+    assert x > 0, "x must be positive"
+    return x

@@ -1,0 +1,12 @@
+"""R7 fixture (clean): library code raises real exceptions.
+
+Linted as module ``repro.smo.guard_fixture``.
+"""
+
+__all__ = ["positive"]
+
+
+def positive(x):
+    if x <= 0:
+        raise ValueError(f"x must be positive; got {x}")
+    return x

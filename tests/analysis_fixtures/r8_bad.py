@@ -1,0 +1,11 @@
+"""R8 fixture (violations): ``__all__`` drifted from the module body.
+
+Linted as module ``repro.utils.api_fixture``: a stale export that is
+defined nowhere, plus a duplicate entry.
+"""
+
+__all__ = ["helper", "removed_long_ago", "helper"]
+
+
+def helper():
+    return 1

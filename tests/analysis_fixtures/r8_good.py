@@ -1,0 +1,12 @@
+"""R8 fixture (clean): ``__all__`` present and consistent.
+
+Linted as module ``repro.utils.api_fixture``.
+"""
+
+__all__ = ["VERSION", "helper"]
+
+VERSION = 1
+
+
+def helper():
+    return VERSION
