@@ -103,5 +103,10 @@ def record_bench(
     )
     data["runs"] = data["runs"][-MAX_RUNS:]
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    # Atomic replace: a benchmark killed mid-write must never leave a
+    # truncated BENCH_*.json behind (same-directory temp so the rename
+    # stays on one filesystem).
+    tmp = out.with_name(out.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, out)
     return out

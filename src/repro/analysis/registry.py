@@ -2,9 +2,12 @@
 
 Every ``REPRO_*`` / ``BISMO_*`` environment variable the project reads
 must be declared here, and raw ``os.environ`` reads of those prefixes
-are only permitted in the two designated reader modules
-(:mod:`repro.optics.fftlib` for the library, ``benchmarks/bench_env.py``
-for the benchmark suite).  The R2 project check additionally
+are only permitted in the designated reader modules listed in
+``RAW_READER_MODULES`` (:mod:`repro.optics.fftlib` for the library,
+``benchmarks/bench_env.py`` for the benchmark suite,
+:mod:`repro.harness.resilience` for the harness resilience knobs, and
+:mod:`repro.utils.faultinject` for the fault plan, which must stay
+importable before the rest of the package).  The R2 project check additionally
 cross-checks this registry against the env-var table in ``README.md``
 so the docs cannot drift from the code.
 """
@@ -27,6 +30,11 @@ DECLARED_ENV_VARS: Dict[str, str] = {
     "REPRO_FFT_CHUNK": "batch chunk size for stacked transforms",
     "REPRO_COND_WORKERS": "process-condition fan-out worker threads",
     "REPRO_WORKER_BUDGET": "global cap on cond workers x FFT workers",
+    # -- resilience knobs (read by repro.harness.resilience) -----------
+    "REPRO_CELL_TIMEOUT": "harness per-cell wall-clock timeout in seconds (0 = off)",
+    "REPRO_MAX_RETRIES": "harness per-cell retry budget for transient faults",
+    # -- fault injection (read by repro.utils.faultinject) -------------
+    "REPRO_FAULT_PLAN": "deterministic fault-injection plan (tests/CI)",
     # -- benchmark knobs (read by benchmarks.bench_env) ----------------
     "BISMO_BENCH_DIR": "directory for recorded BENCH_*.json artifacts",
     "BISMO_BENCH_SCALE": "batched-tiles bench scale: small|paper",
@@ -59,6 +67,8 @@ DECLARED_ENV_VARS: Dict[str, str] = {
 RAW_READER_MODULES: Tuple[str, ...] = (
     "repro.optics.fftlib",
     "benchmarks.bench_env",
+    "repro.harness.resilience",
+    "repro.utils.faultinject",
 )
 
 

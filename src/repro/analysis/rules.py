@@ -254,7 +254,7 @@ class EnvRegistryRule(Rule):
                     module,
                     loc,
                     f"raw read of '{name}' outside the designated readers "
-                    "(repro.optics.fftlib / benchmarks.bench_env)",
+                    f"({', '.join(RAW_READER_MODULES)})",
                 )
 
     def check_project(self, project: Project) -> Iterable[Finding]:

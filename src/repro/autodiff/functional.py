@@ -902,7 +902,12 @@ def incoherent_image_stack(
 
     def _forward_one(fi: int) -> np.ndarray:
         cp_f, reps_f = pair_info[fi]
-        return _stream_forward_one(fm, stacks[fi].data, w, csize, cp_f, reps_f)
+        # MemoryError inside the streamed block -> halve the chunk and
+        # retry once (chunk-invariant result, see fftlib).
+        return fl.run_with_chunk_fallback(
+            lambda c: _stream_forward_one(fm, stacks[fi].data, w, c, cp_f, reps_f),
+            csize,
+        )
 
     # Independent per-stack passes: fan out across the condition pool
     # (inline when serial) — each writes its own slot, so the stacking
@@ -952,12 +957,19 @@ def _incoherent_stack_vjp_streamed(
 
     def _backward_one(fi: int) -> Tuple[Any, Any]:
         cp_f, reps_f = pair_info[fi]
-        gw_f = np.zeros(s, dtype=gw_dtype) if need_w else None
-        acc = _stream_backward_one(
-            gd[fi], fm, stacks[fi].data, weights.data, csize, cp_f, reps_f,
-            need_mask, gw_f,
-        )
-        return acc, gw_f
+
+        def _attempt(c: int) -> Tuple[Any, Any]:
+            # Fresh accumulators per attempt: a MemoryError mid-pass must
+            # not leave half-accumulated gradients behind for the
+            # halved-chunk retry to double-count.
+            gw_f = np.zeros(s, dtype=gw_dtype) if need_w else None
+            acc = _stream_backward_one(
+                gd[fi], fm, stacks[fi].data, weights.data, c, cp_f, reps_f,
+                need_mask, gw_f,
+            )
+            return acc, gw_f
+
+        return fl.run_with_chunk_fallback(_attempt, csize)
 
     results = fl.map_conditions(_backward_one, len(stacks))
     gw: Any = np.zeros(s, dtype=gw_dtype) if need_w else None

@@ -17,11 +17,26 @@ from .process_window import (
     process_window_table,
     run_process_window,
 )
+from .resilience import (
+    CellOutcome,
+    CheckpointJournal,
+    RecordCodec,
+    RetryPolicy,
+    classify_error,
+    execute_cells,
+)
 from .tables import TableData, table3, table4
 from .figures import FIGURE3_METHODS, FigureSeries, figure3_series, figure5_stats
-from .report import ascii_plot, render_series, render_table, table_to_csv
+from .report import ascii_plot, render_series, render_table, sweep_health, table_to_csv
 
 __all__ = [
+    "CellOutcome",
+    "CheckpointJournal",
+    "RecordCodec",
+    "RetryPolicy",
+    "classify_error",
+    "execute_cells",
+    "sweep_health",
     "METHOD_ORDER",
     "RunRecord",
     "RunSettings",

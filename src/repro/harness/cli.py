@@ -24,7 +24,13 @@ from ..layouts import dataset_by_name, DATASET_NAMES
 from ..optics import ProcessWindow
 from .figures import figure3_series, figure5_stats
 from .process_window import process_window_table, run_process_window
-from .report import ascii_plot, render_series, render_table, table_to_csv
+from .report import (
+    ascii_plot,
+    render_series,
+    render_table,
+    sweep_health,
+    table_to_csv,
+)
 from .runner import METHOD_ORDER, RunSettings, run_matrix
 from .tables import table3, table4
 
@@ -61,9 +67,37 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"subset of methods (default: all of {', '.join(METHOD_ORDER)})",
         )
 
+    def resilience(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--resume",
+            type=Path,
+            default=None,
+            metavar="JOURNAL",
+            help="JSONL checkpoint journal: completed cells are appended "
+            "as they finish and skipped when re-running with the same "
+            "path, so an interrupted sweep resumes where it crashed",
+        )
+        p.add_argument(
+            "--cell-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-cell wall-clock budget (default: REPRO_CELL_TIMEOUT; "
+            "0 disables; enforced for parallel sweeps only)",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="per-cell retry budget for transient faults (default: "
+            "REPRO_MAX_RETRIES or 2)",
+        )
+
     for name in ("table3", "table4", "tables", "all"):
         p = sub.add_parser(name)
         common(p)
+        resilience(p)
         p.add_argument(
             "--workers",
             type=int,
@@ -96,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
         "window-wide variation band.",
     )
     common(pw)
+    resilience(pw)
     pw.add_argument("--dataset", default="ICCAD13", choices=list(DATASET_NAMES))
     pw.add_argument(
         "--pw-doses",
@@ -169,6 +204,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
             workers=args.workers,
             joint=args.joint,
+            checkpoint=args.resume,
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
         )
         if args.command in ("table3", "tables", "all"):
             t3 = table3(records)
@@ -180,6 +218,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(render_table(t4))
             if out_dir:
                 table_to_csv(t4, out_dir / "table4.csv")
+        if any(not rec.ok for rec in records):
+            print(render_table(sweep_health(records)), file=sys.stderr)
         return 0
 
     if args.command == "pwindow":
@@ -197,7 +237,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         ds = dataset_by_name(args.dataset, num_clips=max(args.clips, 1))
         clips = list(ds)[: args.clips]
         methods = args.methods or ["Abbe-MO", "BiSMO-NMN"]
-        records = run_process_window(methods, clips, settings, ds.name)
+        records = run_process_window(
+            methods,
+            clips,
+            settings,
+            ds.name,
+            checkpoint=args.resume,
+            cell_timeout=args.cell_timeout,
+            max_retries=args.max_retries,
+            progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+        )
+        if any(not rec.ok for rec in records):
+            print(render_table(sweep_health(records)), file=sys.stderr)
         for value in ("l2", "epe"):
             table = process_window_table(records, value=value)
             print(render_table(table))

@@ -11,9 +11,12 @@ directly from python.
 
 from __future__ import annotations
 
+import math
+import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +25,8 @@ from ..metrics import epe_report, l2_error_nm2, pvb_band_nm2
 from ..optics import OpticalConfig, ProcessWindow
 from ..smo import SMOResult, ProcessWindowSMOObjective, init_theta_source
 from ..smo.objective import robust_tile_losses
+from ..utils.faultinject import fault_point
+from .resilience import RecordCodec, RetryPolicy, execute_cells
 from .runner import RunSettings, _annular_source, _dispatch, _target_image
 from .tables import TableData
 
@@ -35,7 +40,13 @@ __all__ = [
 
 @dataclass
 class ProcessWindowRecord:
-    """Per-corner judgment of one (method, clip) run."""
+    """Per-corner judgment of one (method, clip) run.
+
+    Like :class:`repro.harness.RunRecord`, carries resilience
+    bookkeeping: ``status`` is ``"ok"`` unless the cell exhausted its
+    retry budget (``"failed"`` / ``"timeout"``, NaN metrics, details in
+    ``error``); ``attempts`` counts executions.
+    """
 
     method: str
     dataset: str
@@ -54,6 +65,67 @@ class ProcessWindowRecord:
     #: Final adaptive corner weights of the run (``robust="adaptive"``
     #: solves only; the judge's robust reduction uses them), else None.
     corner_weights: Optional[np.ndarray] = None
+    status: str = "ok"
+    error: str = ""
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-``json`` form for the checkpoint journal (floats revive
+        bitwise — python's ``json`` writes ``repr``-exact doubles)."""
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "clip": self.clip,
+            "corner_labels": list(self.corner_labels),
+            "corner_loss": np.asarray(self.corner_loss, dtype=np.float64).tolist(),
+            "corner_l2_nm2": np.asarray(
+                self.corner_l2_nm2, dtype=np.float64
+            ).tolist(),
+            "corner_epe": [int(v) for v in np.asarray(self.corner_epe)],
+            "band_nm2": self.band_nm2,
+            "robust_loss": self.robust_loss,
+            "runtime_s": self.runtime_s,
+            "losses": np.asarray(self.losses, dtype=np.float64).tolist(),
+            "corner_thresholds": [float(v) for v in self.corner_thresholds],
+            "corner_weights": (
+                None
+                if self.corner_weights is None
+                else np.asarray(self.corner_weights, dtype=np.float64).tolist()
+            ),
+            "status": self.status,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ProcessWindowRecord":
+        weights = data.get("corner_weights")
+        return cls(
+            method=str(data["method"]),
+            dataset=str(data["dataset"]),
+            clip=str(data["clip"]),
+            corner_labels=tuple(data["corner_labels"]),
+            corner_loss=np.asarray(data["corner_loss"], dtype=np.float64),
+            corner_l2_nm2=np.asarray(data["corner_l2_nm2"], dtype=np.float64),
+            corner_epe=np.asarray(data["corner_epe"], dtype=np.int64),
+            band_nm2=float(data["band_nm2"]),
+            robust_loss=float(data["robust_loss"]),
+            runtime_s=float(data["runtime_s"]),
+            losses=np.asarray(data["losses"], dtype=np.float64),
+            corner_thresholds=tuple(
+                float(v) for v in data.get("corner_thresholds", [])
+            ),
+            corner_weights=(
+                None if weights is None else np.asarray(weights, dtype=np.float64)
+            ),
+            status=str(data.get("status", "ok")),
+            error=str(data.get("error", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
 
 
 def evaluate_process_window(
@@ -137,37 +209,121 @@ def evaluate_process_window(
     )
 
 
+# One process-window cell: (method, dataset_name, clip) — a plain tuple
+# so cells pickle cleanly if sharded over a pool.
+_PWCell = Tuple[str, str, Clip]
+
+
+def _run_pw_cell(
+    cell: _PWCell, settings: RunSettings
+) -> List[ProcessWindowRecord]:
+    """Execute one (method, clip) process-window cell."""
+    fault_point("harness.run_cell")
+    method, dataset_name, clip = cell
+    cfg = settings.config
+    target = _target_image(clip, cfg)
+    source = _annular_source(cfg)
+    start = time.perf_counter()
+    result = _dispatch(method, settings, target, source)
+    runtime = time.perf_counter() - start
+    rec = evaluate_process_window(result, clip, settings, source_fallback=source)
+    rec.method = method
+    rec.dataset = dataset_name
+    rec.runtime_s = runtime
+    rec.losses = result.losses
+    return [rec]
+
+
+def _pw_failure_records(
+    cell: _PWCell, status: str, error: str, attempts: int
+) -> List[ProcessWindowRecord]:
+    method, dataset_name, clip = cell
+    nan = math.nan
+    return [
+        ProcessWindowRecord(
+            method=method,
+            dataset=dataset_name,
+            clip=clip.name,
+            corner_labels=(),
+            corner_loss=np.empty(0),
+            corner_l2_nm2=np.empty(0),
+            corner_epe=np.empty(0, dtype=np.int64),
+            band_nm2=nan,
+            robust_loss=nan,
+            runtime_s=nan,
+            status=status,
+            error=error,
+            attempts=attempts,
+        )
+    ]
+
+
+def _pw_stamp_records(
+    records: List[ProcessWindowRecord], status: str, attempts: int, error: str
+) -> None:
+    for rec in records:
+        rec.status = status
+        rec.attempts = attempts
+        rec.error = error
+
+
+#: Codec handing :class:`ProcessWindowRecord` lists to the executor.
+PW_RECORD_CODEC = RecordCodec(
+    encode=lambda records: [r.to_json() for r in records],
+    decode=lambda payload: [ProcessWindowRecord.from_json(d) for d in payload],
+    failure=_pw_failure_records,
+    stamp=_pw_stamp_records,
+)
+
+
 def run_process_window(
     methods: Sequence[str],
     clips: Sequence[Clip],
     settings: RunSettings,
     dataset_name: str = "",
+    checkpoint: Optional[Union[str, os.PathLike]] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    progress: Optional[Any] = None,
 ) -> List[ProcessWindowRecord]:
     """Run each (method, clip) cell robustly and judge the full window.
 
     ``settings.process_window`` must be set: every solver optimizes the
     robust objective across it, and the report judges the same corners.
+
+    With ``checkpoint`` set the run goes through the fault-tolerant
+    executor (:mod:`repro.harness.resilience`): completed cells are
+    journaled as they finish and skipped on a resumed run, retries
+    follow the same taxonomy as :func:`repro.harness.run_matrix`, and a
+    cell that exhausts its budget yields a structured failure record.
     """
     if settings.process_window is None:
         raise ValueError("run_process_window needs settings.process_window")
-    cfg = settings.config
-    records: List[ProcessWindowRecord] = []
-    for clip in clips:
-        target = _target_image(clip, cfg)
-        source = _annular_source(cfg)
-        for method in methods:
-            start = time.perf_counter()
-            result = _dispatch(method, settings, target, source)
-            runtime = time.perf_counter() - start
-            rec = evaluate_process_window(
-                result, clip, settings, source_fallback=source
-            )
-            rec.method = method
-            rec.dataset = dataset_name
-            rec.runtime_s = runtime
-            rec.losses = result.losses
-            records.append(rec)
-    return records
+    cells: List[_PWCell] = [
+        (method, dataset_name, clip) for clip in clips for method in methods
+    ]
+    resilient = (
+        checkpoint is not None or cell_timeout is not None or max_retries is not None
+    )
+    if not resilient:
+        records: List[ProcessWindowRecord] = []
+        for cell in cells:
+            records.extend(_run_pw_cell(cell, settings))
+        return records
+    labels = [f"{ds}/{clip.name}/{method}" for method, ds, clip in cells]
+    policy = None if max_retries is None else RetryPolicy(max_retries=max_retries)
+    outcomes = execute_cells(
+        cells,
+        labels,
+        partial(_run_pw_cell, settings=settings),
+        PW_RECORD_CODEC,
+        workers=1,
+        policy=policy,
+        cell_timeout=cell_timeout,
+        checkpoint=checkpoint,
+        progress=progress,
+    )
+    return [rec for outcome in outcomes for rec in outcome.records]
 
 
 def process_window_table(
@@ -187,6 +343,9 @@ def process_window_table(
     if value not in fields:
         raise KeyError(f"unknown value {value!r}; choose from {sorted(fields)}")
     attr, caption = fields[value]
+    # Failure records carry no corner data; the sweep-health table
+    # (repro.harness.report) is where they surface.
+    records = [rec for rec in records if rec.status == "ok"]
     if not records:
         raise ValueError("no records")
     labels = records[0].corner_labels

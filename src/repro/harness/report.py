@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
+from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
@@ -12,7 +13,13 @@ import numpy as np
 from .figures import FigureSeries
 from .tables import TableData
 
-__all__ = ["render_table", "table_to_csv", "render_series", "ascii_plot"]
+__all__ = [
+    "render_table",
+    "table_to_csv",
+    "render_series",
+    "ascii_plot",
+    "sweep_health",
+]
 
 
 def _fmt(value: float) -> str:
@@ -44,6 +51,41 @@ def table_to_csv(table: TableData, path: Union[str, Path]) -> None:
         writer.writerow([""] + table.columns)
         for label, cells in table.rows:
             writer.writerow([label] + list(cells))
+
+
+def sweep_health(records: Sequence) -> TableData:
+    """Resilience accounting of a sweep: per (dataset, method) counts of
+    ok / failed / timed-out records, how many needed retries, and the
+    worst attempt count.
+
+    Works on any record type carrying ``status`` / ``attempts`` fields
+    (:class:`~repro.harness.RunRecord`,
+    :class:`~repro.harness.ProcessWindowRecord`).  The metric tables
+    silently skip non-``"ok"`` records; this table is where those cells
+    stay visible.
+    """
+    grouped: Dict[str, List] = defaultdict(list)
+    for rec in records:
+        grouped[f"{rec.dataset}/{rec.method}"].append(rec)
+    columns = ["records", "ok", "failed", "timeout", "retried", "max attempts"]
+    rows: List = []
+    for label in sorted(grouped):
+        recs = grouped[label]
+        statuses = [r.status for r in recs]
+        rows.append(
+            (
+                label,
+                [
+                    float(len(recs)),
+                    float(statuses.count("ok")),
+                    float(statuses.count("failed")),
+                    float(statuses.count("timeout")),
+                    float(sum(1 for r in recs if r.attempts > 1)),
+                    float(max((r.attempts for r in recs), default=0)),
+                ],
+            )
+        )
+    return TableData(title="Sweep health", columns=columns, rows=rows)
 
 
 def render_series(series: Sequence[FigureSeries]) -> str:

@@ -18,15 +18,26 @@ Two scale axes on top of the per-cell engine:
   function of (method, clip, settings), and records are collected in
   submission order, so a parallel sweep returns the records in exactly
   the serial order with identical numeric content.
+
+Parallel sweeps run through the fault-tolerant executor of
+:mod:`repro.harness.resilience`: a dead worker costs a pool rebuild and
+a resubmission, not the sweep; a deterministic solver failure becomes a
+structured ``status="failed"`` record instead of an abort; and
+``run_matrix(..., checkpoint=path)`` journals completed cells so an
+interrupted sweep resumes where it crashed with byte-identical record
+order.  Because cells are pure, retried and resumed cells reproduce
+their records bitwise.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,6 +56,8 @@ from ..smo import (
     SMOResult,
     init_theta_source,
 )
+from ..utils.faultinject import fault_point
+from .resilience import RecordCodec, RetryPolicy, execute_cells
 
 __all__ = [
     "RunRecord",
@@ -100,7 +113,15 @@ class RunSettings:
 
 @dataclass
 class RunRecord:
-    """One (method, clip) evaluation."""
+    """One (method, clip) evaluation.
+
+    ``status`` is ``"ok"`` for a completed evaluation; a cell that
+    exhausted its retry budget is recorded as ``"failed"`` (solver
+    exception, details in ``error``) or ``"timeout"`` with NaN metrics,
+    so one broken cell no longer aborts a whole sweep.  ``attempts``
+    counts executions of the cell (1 = first try succeeded).  Table
+    builders skip non-``"ok"`` records.
+    """
 
     method: str
     dataset: str
@@ -112,6 +133,54 @@ class RunRecord:
     runtime_s: float
     final_loss: float
     losses: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+    status: str = "ok"
+    error: str = ""
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-``json`` form for the checkpoint journal.
+
+        Python's ``json`` writes doubles via ``repr``, so every float —
+        the loss trace included — revives bitwise in
+        :meth:`from_json`.
+        """
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "clip": self.clip,
+            "l2_nm2": self.l2_nm2,
+            "pvb_nm2": self.pvb_nm2,
+            "epe_violations": self.epe_violations,
+            "epe_mean_nm": self.epe_mean_nm,
+            "runtime_s": self.runtime_s,
+            "final_loss": self.final_loss,
+            "losses": np.asarray(self.losses, dtype=np.float64).tolist(),
+            "status": self.status,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            method=str(data["method"]),
+            dataset=str(data["dataset"]),
+            clip=str(data["clip"]),
+            l2_nm2=float(data["l2_nm2"]),
+            pvb_nm2=float(data["pvb_nm2"]),
+            epe_violations=int(data["epe_violations"]),
+            epe_mean_nm=float(data["epe_mean_nm"]),
+            runtime_s=float(data["runtime_s"]),
+            final_loss=float(data["final_loss"]),
+            losses=np.asarray(data["losses"], dtype=np.float64),
+            status=str(data.get("status", "ok")),
+            error=str(data.get("error", "")),
+            attempts=int(data.get("attempts", 1)),
+        )
 
 
 def _target_image(clip: Clip, config: OpticalConfig) -> np.ndarray:
@@ -344,10 +413,63 @@ def _cell_label(cell: _Cell) -> str:
 
 def _run_cell(cell: _Cell, settings: RunSettings) -> List[RunRecord]:
     """Execute one sweep cell (also the process-pool task body)."""
+    fault_point("harness.run_cell")
     kind, method, ds_name, payload = cell
     if kind == "joint":
         return run_joint(method, list(payload), settings, ds_name)
     return [run_clip(method, payload, settings, ds_name)]
+
+
+def _cell_clip_names(cell: _Cell) -> List[str]:
+    """Clip names a cell's records will carry (one per record)."""
+    kind, _method, _ds_name, payload = cell
+    if kind == "joint":
+        return [clip.name for clip in payload]
+    return [payload.name]
+
+
+def _failure_records(
+    cell: _Cell, status: str, error: str, attempts: int
+) -> List[RunRecord]:
+    """Structured NaN-metric records for a cell that exhausted retries."""
+    _kind, method, ds_name, _payload = cell
+    nan = math.nan
+    return [
+        RunRecord(
+            method=method,
+            dataset=ds_name,
+            clip=clip_name,
+            l2_nm2=nan,
+            pvb_nm2=nan,
+            epe_violations=0,
+            epe_mean_nm=nan,
+            runtime_s=nan,
+            final_loss=nan,
+            losses=np.empty(0),
+            status=status,
+            error=error,
+            attempts=attempts,
+        )
+        for clip_name in _cell_clip_names(cell)
+    ]
+
+
+def _stamp_records(
+    records: List[RunRecord], status: str, attempts: int, error: str
+) -> None:
+    for rec in records:
+        rec.status = status
+        rec.attempts = attempts
+        rec.error = error
+
+
+#: Codec handing :class:`RunRecord` lists to the resilient executor.
+RUN_RECORD_CODEC = RecordCodec(
+    encode=lambda records: [r.to_json() for r in records],
+    decode=lambda payload: [RunRecord.from_json(d) for d in payload],
+    failure=_failure_records,
+    stamp=_stamp_records,
+)
 
 
 def _worker_warmup(
@@ -367,11 +489,31 @@ def _worker_warmup(
     any split, so the sweep's byte-identical-records guarantee is
     unaffected.
     """
+    fault_point("harness.worker_warmup")
     from ..optics import cache, fftlib
 
     if worker_budget is not None:
         fftlib.set_worker_budget(worker_budget)
     cache.warmup(config, process_window=process_window)
+
+
+def _matrix_cells(
+    datasets: Sequence[Dataset],
+    methods: Sequence[str],
+    clips_per_dataset: Optional[int],
+    joint: bool,
+) -> List[_Cell]:
+    cells: List[_Cell] = []
+    for ds in datasets:
+        clips = list(ds)[: clips_per_dataset or len(ds)]
+        if joint:
+            for method in methods:
+                cells.append(("joint", method, ds.name, tuple(clips)))
+        else:
+            for clip in clips:
+                for method in methods:
+                    cells.append(("clip", method, ds.name, clip))
+    return cells
 
 
 def run_matrix(
@@ -382,6 +524,9 @@ def run_matrix(
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
     joint: bool = False,
+    checkpoint: Optional[Union[str, os.PathLike]] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> List[RunRecord]:
     """Full (method x dataset x clip) sweep — the shared input of
     Table 3 and Table 4.
@@ -393,39 +538,68 @@ def run_matrix(
         ``N > 1`` shards the cells over a ``ProcessPoolExecutor`` whose
         workers warm the optics cache once at start-up.  Record order
         and numeric content are identical to the serial sweep (cells are
-        deterministic and collected in submission order); only wall-clock
-        timing fields differ run-to-run.
+        deterministic and reassembled in submission order); only
+        wall-clock timing fields differ run-to-run.  Parallel sweeps are
+        fault tolerant: dead workers are replaced and their cells
+        resubmitted, and a cell whose retries are exhausted yields a
+        structured ``status="failed"``/``"timeout"`` record instead of
+        aborting the sweep.
     joint:
         Optimize each dataset's clips jointly (one shared source per
         (method, dataset) cell, see :func:`run_joint`) instead of one
         solve per clip.
+    checkpoint:
+        Path of a JSONL checkpoint journal.  Completed cells are
+        appended as their futures finish; re-running with the same path
+        skips them and reproduces the full record list in the original
+        order, byte-identical to an uninterrupted run.
+    cell_timeout:
+        Per-cell wall-clock budget in seconds (parallel sweeps only; an
+        in-process cell cannot be preempted).  ``None`` defers to
+        ``REPRO_CELL_TIMEOUT``; ``0`` disables.
+    max_retries:
+        Per-cell retry budget for transient faults.  ``None`` defers to
+        ``REPRO_MAX_RETRIES`` (default 2).  Deterministic solver
+        exceptions always fail fast after at most one retry.
+
+    A serial sweep with none of the resilience arguments set keeps the
+    legacy contract: the first cell exception propagates.
     """
-    cells: List[_Cell] = []
-    for ds in datasets:
-        clips = list(ds)[: clips_per_dataset or len(ds)]
-        if joint:
-            for method in methods:
-                cells.append(("joint", method, ds.name, tuple(clips)))
-        else:
-            for clip in clips:
-                for method in methods:
-                    cells.append(("clip", method, ds.name, clip))
-    records: List[RunRecord] = []
-    if workers <= 1:
+    cells = _matrix_cells(datasets, methods, clips_per_dataset, joint)
+    resilient = (
+        workers > 1
+        or checkpoint is not None
+        or cell_timeout is not None
+        or max_retries is not None
+    )
+    if not resilient:
+        records: List[RunRecord] = []
         for cell in cells:
             if progress:
                 progress(_cell_label(cell))
             records.extend(_run_cell(cell, settings))
         return records
-    worker_budget = max(1, (os.cpu_count() or 1) // workers)
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_warmup,
-        initargs=(settings.config, worker_budget, settings.process_window),
-    ) as pool:
-        futures = [pool.submit(_run_cell, cell, settings) for cell in cells]
-        for cell, future in zip(cells, futures):
-            if progress:
-                progress(_cell_label(cell))
-            records.extend(future.result())
-    return records
+
+    worker_budget = max(1, (os.cpu_count() or 1) // max(1, workers))
+
+    def pool_factory() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_warmup,
+            initargs=(settings.config, worker_budget, settings.process_window),
+        )
+
+    policy = None if max_retries is None else RetryPolicy(max_retries=max_retries)
+    outcomes = execute_cells(
+        cells,
+        [_cell_label(cell) for cell in cells],
+        partial(_run_cell, settings=settings),
+        RUN_RECORD_CODEC,
+        workers=workers,
+        pool_factory=pool_factory if workers > 1 else None,
+        policy=policy,
+        cell_timeout=cell_timeout,
+        checkpoint=checkpoint,
+        progress=progress,
+    )
+    return [rec for outcome in outcomes for rec in outcome.records]

@@ -55,8 +55,16 @@ def _methods_present(records: Sequence[RunRecord]) -> List[str]:
     return ordered
 
 
+def _ok_only(records: Sequence[RunRecord]) -> List[RunRecord]:
+    """Drop failure/timeout records: their NaN metrics would poison the
+    table means.  Failures surface in the sweep-health table instead
+    (:func:`repro.harness.report.sweep_health`)."""
+    return [r for r in records if r.status == "ok"]
+
+
 def table3(records: Sequence[RunRecord]) -> TableData:
     """Per-dataset average L2 / PVB (nm^2) + Average + Ratio rows."""
+    records = _ok_only(records)
     grouped = _group(records)
     methods = _methods_present(records)
     columns: List[str] = []
@@ -100,6 +108,7 @@ def table3(records: Sequence[RunRecord]) -> TableData:
 
 def table4(records: Sequence[RunRecord]) -> TableData:
     """Average EPE violations and turn-around time (s) + ratios."""
+    records = _ok_only(records)
     methods = _methods_present(records)
     by_method: Dict[str, List[RunRecord]] = defaultdict(list)
     for rec in records:

@@ -348,6 +348,9 @@ def warmup(
     :func:`repro.optics.fftlib.map_conditions` pool (the single-flight
     ``_lookup`` guarantees each stack is still built exactly once).
     """
+    from ..utils.faultinject import fault_point
+
+    fault_point("cache.warmup")
     freq_axes(config)
     freq_grid(config)
     source_grid(config)

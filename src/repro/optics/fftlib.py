@@ -85,6 +85,7 @@ __all__ = [
     "compute_dtypes",
     "get_stream_chunk",
     "set_stream_chunk",
+    "run_with_chunk_fallback",
     "use",
     "describe",
 ]
@@ -279,6 +280,32 @@ def set_stream_chunk(n: int) -> None:
     if n < 1:
         raise ValueError(f"stream chunk must be >= 1; got {n}")
     _STATE["chunk"] = int(n)
+
+
+def run_with_chunk_fallback(fn: Callable[[int], Any], csize: int) -> Any:
+    """Call ``fn(csize)``; on ``MemoryError`` halve the chunk and retry once.
+
+    The streamed fused primitive's peak transient is the ``(B, chunk, N,
+    N)`` transform block, so halving the chunk roughly halves the
+    allocation that just failed.  The result is chunk-invariant (atol ~
+    1e-13, see the fused-imaging tests), so a degraded retry is
+    numerically equivalent — callers that need a *bitwise* contract
+    should pin the chunk and let the error propagate instead.  A second
+    ``MemoryError`` (or one at ``chunk == 1``) propagates: memory
+    pressure that survives halving is genuine exhaustion.
+    """
+    # Lazy import: fftlib deliberately imports nothing from repro at
+    # module scope so it stays usable before the package is fully built.
+    from ..utils.faultinject import fault_point
+
+    try:
+        fault_point("fftlib.stream_chunk")
+        return fn(int(csize))
+    except MemoryError:
+        if csize <= 1:
+            raise
+        fault_point("fftlib.stream_chunk")  # the retry allocates again
+        return fn(max(1, int(csize) // 2))
 
 
 @contextlib.contextmanager

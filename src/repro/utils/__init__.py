@@ -1,6 +1,7 @@
-"""Small shared utilities: timing, seeding, logging."""
+"""Small shared utilities: timing, seeding, fault injection, logging."""
 
 from .timing import Timer, timed
 from .seed import seeded_rng
+from .faultinject import fault_point, install_plan, clear_plan
 
-__all__ = ["Timer", "timed", "seeded_rng"]
+__all__ = ["Timer", "timed", "seeded_rng", "fault_point", "install_plan", "clear_plan"]

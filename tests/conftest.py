@@ -16,6 +16,13 @@ def pytest_configure(config):
         "serialized (-m thread_stress in a dedicated step) so they "
         "don't fight other tests for the runner's cores",
     )
+    config.addinivalue_line(
+        "markers",
+        "fault_injection: resilience tests that kill worker processes "
+        "or break pools on purpose; CI runs them serialized "
+        "(-m fault_injection in a dedicated step) so deliberate "
+        "process churn can't destabilize unrelated tests",
+    )
 
 
 @pytest.fixture(scope="session")
