@@ -3,7 +3,8 @@
 Every ``REPRO_*`` / ``BISMO_*`` environment variable the project reads
 must be declared here, and raw ``os.environ`` reads of those prefixes
 are only permitted in the designated reader modules listed in
-``RAW_READER_MODULES`` (:mod:`repro.optics.fftlib` for the library,
+``RAW_READER_MODULES`` (:mod:`repro.optics.fftlib` and
+:mod:`repro.optics.backend` for the library,
 ``benchmarks/bench_env.py`` for the benchmark suite,
 :mod:`repro.harness.resilience` for the harness resilience knobs, and
 :mod:`repro.utils.faultinject` for the fault plan, which must stay
@@ -30,6 +31,8 @@ DECLARED_ENV_VARS: Dict[str, str] = {
     "REPRO_FFT_CHUNK": "batch chunk size for stacked transforms",
     "REPRO_COND_WORKERS": "process-condition fan-out worker threads",
     "REPRO_WORKER_BUDGET": "global cap on cond workers x FFT workers",
+    # -- array backend (read by repro.optics.backend) ------------------
+    "REPRO_BACKEND": "array backend selection: numpy|torch|cupy|strict",
     # -- resilience knobs (read by repro.harness.resilience) -----------
     "REPRO_CELL_TIMEOUT": "harness per-cell wall-clock timeout in seconds (0 = off)",
     "REPRO_MAX_RETRIES": "harness per-cell retry budget for transient faults",
@@ -66,6 +69,7 @@ DECLARED_ENV_VARS: Dict[str, str] = {
 # Everything else must go through these.
 RAW_READER_MODULES: Tuple[str, ...] = (
     "repro.optics.fftlib",
+    "repro.optics.backend",
     "benchmarks.bench_env",
     "repro.harness.resilience",
     "repro.utils.faultinject",

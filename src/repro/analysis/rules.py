@@ -1,4 +1,4 @@
-"""The reprolint rules R1-R8, each encoding one project invariant.
+"""The reprolint rules R1-R9, each encoding one project invariant.
 
 =====  ==================  ================================================
 rule   name                invariant it guards
@@ -11,6 +11,7 @@ R5     determinism         seeded RNGs, ordered reductions, no wall clock
 R6     pool-hygiene        fftlib/harness are the only parallelism owners
 R7     no-assert           library invariants raise real exceptions
 R8     public-api          every repro.* module declares a truthful __all__
+R9     backend-seam        hot paths allocate/transform via optics.backend
 =====  ==================  ================================================
 
 Rules receive one :class:`~repro.analysis.engine.Module` at a time; the
@@ -821,6 +822,70 @@ class PublicApiRule(Rule):
         return defined, has_star
 
 
+# ---------------------------------------------------------------------------
+# R9: backend-seam
+# ---------------------------------------------------------------------------
+
+
+class BackendSeamRule(Rule):
+    rule_id = "R9"
+    name = "backend-seam"
+    description = (
+        "hot-path modules (repro.autodiff.*, the imaging engines) allocate "
+        "and transform only through the repro.optics.backend seam"
+    )
+
+    # modules the seam governs: the autodiff package plus the imaging
+    # engines that stream FFT work (the backend seam's hot path)
+    _SCOPED_PREFIXES = ("repro.autodiff",)
+    _SCOPED_MODULES = (
+        "repro.optics.abbe",
+        "repro.optics.hopkins",
+        "repro.optics.engine",
+    )
+    # allocations that must come from backend.zeros/empty (the *_like
+    # variants are host-side graph plumbing and stay allowed), and the
+    # fftlib transforms the backend absorbs (fftlib policy helpers like
+    # map_conditions/get_stream_chunk remain direct)
+    _FORBIDDEN_EXACT = ("numpy.zeros", "numpy.empty")
+    _FFT_HEADS = ("repro.optics.fftlib", "fftlib")
+    _FFT_OPS = ("fft2", "ifft2", "freq_reverse")
+
+    def _in_scope(self, module: Module) -> bool:
+        name = module.module or ""
+        if name in self._SCOPED_MODULES:
+            return True
+        return any(
+            name == pref or name.startswith(pref + ".")
+            for pref in self._SCOPED_PREFIXES
+        )
+
+    def _is_forbidden(self, resolved: str) -> bool:
+        if resolved in self._FORBIDDEN_EXACT:
+            return True
+        if resolved.startswith("numpy.fft."):
+            return True
+        head, _, op = resolved.rpartition(".")
+        return head in self._FFT_HEADS and op in self._FFT_OPS
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if not self._in_scope(module):
+            return
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve(node.func, aliases)
+            if resolved and self._is_forbidden(resolved):
+                yield _finding(
+                    self.rule_id,
+                    module,
+                    node,
+                    f"hot-path call to '{resolved}'; allocate/transform "
+                    "through repro.optics.backend (active_backend()/HOST)",
+                )
+
+
 ALL_RULES: Tuple[Type[Rule], ...] = (
     FftSeamRule,
     EnvRegistryRule,
@@ -830,6 +895,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     PoolHygieneRule,
     NoAssertRule,
     PublicApiRule,
+    BackendSeamRule,
 )
 
 

@@ -78,7 +78,7 @@ def tensor(data: Any, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(shape: Union[int, Tuple[int, ...]], dtype: Any = np.float64) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=dtype))
+    return Tensor(_get_backend().HOST.zeros(shape, dtype=dtype))
 
 
 def ones(shape: Union[int, Tuple[int, ...]], dtype: Any = np.float64) -> Tensor:
@@ -441,6 +441,7 @@ def make_complex(re: ArrayLike, im: ArrayLike) -> Tensor:
 # FFTs (always over the last two axes, numpy "backward" normalization)
 # ----------------------------------------------------------------------
 _fftlib: Any = None
+_backend_mod: Any = None
 
 
 def _get_fftlib() -> Any:
@@ -459,24 +460,40 @@ def _get_fftlib() -> Any:
     return _fftlib
 
 
+def _get_backend() -> Any:
+    """Resolve :mod:`repro.optics.backend` lazily (same cycle-avoidance
+    rationale as :func:`_get_fftlib`; backend itself only imports
+    fftlib)."""
+    global _backend_mod
+    if _backend_mod is None:
+        from ..optics import backend
+
+        _backend_mod = backend
+    return _backend_mod
+
+
 def fft2(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     ntot = x.shape[-1] * x.shape[-2]
+    bk = _get_backend().active_backend()
 
     def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (mul(ifft2(g), float(ntot)),)
 
-    return _make(_get_fftlib().fft2(x.data), (x,), vjp, "fft2")
+    out_data = bk.to_host(bk.fft2(bk.from_host(x.data)))
+    return _make(out_data, (x,), vjp, "fft2")
 
 
 def ifft2(x: ArrayLike) -> Tensor:
     x = as_tensor(x)
     ntot = x.shape[-1] * x.shape[-2]
+    bk = _get_backend().active_backend()
 
     def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
         return (div(fft2(g), float(ntot)),)
 
-    return _make(_get_fftlib().ifft2(x.data), (x,), vjp, "ifft2")
+    out_data = bk.to_host(bk.ifft2(bk.from_host(x.data)))
+    return _make(out_data, (x,), vjp, "ifft2")
 
 
 # ----------------------------------------------------------------------
@@ -569,7 +586,8 @@ def _pair_setup(
 
 
 def _stream_forward_one(
-    fm: np.ndarray,
+    bk: Any,
+    fm: Any,
     kern: np.ndarray,
     w: np.ndarray,
     csize: int,
@@ -578,35 +596,39 @@ def _stream_forward_one(
 ) -> np.ndarray:
     """Streamed weighted incoherent sum for ONE kernel stack.
 
-    ``fm`` is the precomputed ``(B, N, N)`` mask spectrum — sharing it
-    across kernel stacks is what lets the multi-condition primitive
-    reuse one mask FFT for every process corner.
+    ``fm`` is the precomputed ``(B, N, N)`` mask spectrum (a backend
+    array) — sharing it across kernel stacks is what lets the
+    multi-condition primitive reuse one mask FFT for every process
+    corner.  Kernel/weight selection runs host-side (``kern``/``w``
+    are host constants); the chunk loop runs entirely on ``bk`` and
+    the reduced ``(B, N, N)`` image returns to the host.
     """
-    fl = _get_fftlib()
     b, n = fm.shape[0], fm.shape[-1]
     if reps is None:
-        kern_r, w_eff, r = kern, w, kern.shape[0]
+        kern_h, w_h, r = kern, w, kern.shape[0]
     else:
-        kern_r = kern[reps]  # (R, N, N) representatives, R ~ S/2
+        kern_h = kern[reps]  # (R, N, N) representatives, R ~ S/2
         mates = cp[reps]
-        w_eff = w[reps] + np.where(mates != reps, w[mates], 0.0)
+        w_h = w[reps] + np.where(mates != reps, w[mates], 0.0)
         r = reps.size
+    kern_r = bk.from_host(kern_h)
+    w_eff = bk.from_host(w_h)
     nn = n * n
-    out = np.zeros((b, n, n), dtype=np.float64)
+    out = bk.zeros((b, n, n), bk.float64)
     for lo in range(0, r, csize):
         hi = min(r, lo + csize)
         # One (B, C, N, N) transform block per chunk: big enough to
         # amortize dispatch, small enough to stay transient.
-        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
-        intens = np.square(fields.real)
-        intens += np.square(fields.imag)
+        fields = bk.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
+        intens = bk.abs2(fields)
         out += (w_eff[lo:hi] @ intens.reshape(b, hi - lo, nn)).reshape(b, n, n)
-    return out
+    return bk.to_host(out)
 
 
 def _stream_backward_one(
+    bk: Any,
     gd: np.ndarray,
-    fm: np.ndarray,
+    fm: Any,
     kern: np.ndarray,
     w: np.ndarray,
     csize: int,
@@ -614,53 +636,62 @@ def _stream_backward_one(
     reps: Any,
     need_mask: bool,
     gw: Any,
-) -> Optional[np.ndarray]:
+) -> Optional[Any]:
     """One stack's streamed gradient contributions (graph-free).
 
-    Recomputes the per-chunk coherent fields from ``fm`` and returns the
-    *frequency-domain* mask-gradient accumulator (the caller applies the
-    final IFFT once, summed over stacks), adding weight-gradient
-    contributions into ``gw`` in place when it is not None.
+    Recomputes the per-chunk coherent fields from ``fm`` (a backend
+    array) and returns the *frequency-domain* mask-gradient accumulator
+    as a backend array (the caller applies the final IFFT once, summed
+    over stacks), adding weight-gradient contributions into the host
+    vector ``gw`` in place when it is not None.
     """
-    fl = _get_fftlib()
     s, n = kern.shape[0], kern.shape[-1]
     b = fm.shape[0]
     nn = n * n
     need_w = gw is not None
     # Conjugate pairing additionally needs a real upstream gradient
     # (the mirrored-term identity conjugates g); fall back otherwise.
-    use_pairs = reps is not None and not np.iscomplexobj(gd)
+    gd_complex = np.iscomplexobj(gd)
+    use_pairs = reps is not None and not gd_complex
     if use_pairs:
-        kern_r = kern[reps]
+        kern_h = kern[reps]
         mates = cp[reps]
         is_pair = mates != reps
         w_direct, w_mirror = w[reps], np.where(is_pair, w[mates], 0.0)
         r = reps.size
     else:
-        kern_r, r = kern, s
+        kern_h, r = kern, s
+    kern_r = bk.from_host(kern_h)
+    gd_dev = bk.from_host(gd)
+    gdr = gd_dev.reshape(b, nn, 1)
     acc: Any = None
     acc_mirror: Any = None
     if need_mask:
-        gd2 = 2.0 * gd  # (B, N, N)
-        acc = np.zeros((b, n, n), dtype=np.complex128)
+        gd2 = 2.0 * gd_dev  # (B, N, N)
+        acc = bk.zeros((b, n, n), bk.complex128)
         # The w_s factor commutes with the FFT, so it folds into the
         # per-chunk conj-kernel contraction (one pass fewer per block).
+        # The weighted kernels are assembled host-side (cached real
+        # constants) and transferred once per backward pass.
         if use_pairs:
-            wkc = w_direct[:, None, None] * kern_r  # real kernels
-            wkc_mirror = w_mirror[:, None, None] * kern_r
-            acc_mirror = np.zeros((b, n, n), dtype=np.complex128)
+            wkc = bk.from_host(w_direct[:, None, None] * kern_h)
+            wkc_mirror = bk.from_host(w_mirror[:, None, None] * kern_h)
+            acc_mirror = bk.zeros((b, n, n), bk.complex128)
         else:
-            wkc = w[:, None, None] * np.conj(kern)
+            wkc = bk.from_host(w[:, None, None] * np.conj(kern))
     for lo in range(0, r, csize):
         hi = min(r, lo + csize)
         # Recomputed (B, C, N, N) block, never retained.
-        fields = fl.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
+        fields = bk.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
         if need_w:
-            intens = np.square(fields.real)
-            intens += np.square(fields.imag)
-            val = (intens.reshape(b, hi - lo, nn) @ gd.reshape(b, nn, 1))[
-                :, :, 0
-            ].sum(axis=0)
+            intens = bk.abs2(fields)
+            if gd_complex:
+                intens = bk.astype(intens, bk.complex128)
+            val = bk.to_host(
+                bk.sum(
+                    (intens.reshape(b, hi - lo, nn) @ gdr)[:, :, 0], axis=0
+                )
+            )
             if use_pairs:
                 # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
                 # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
@@ -673,14 +704,14 @@ def _stream_backward_one(
                 gw[lo:hi] += val
         if need_mask:
             fields *= gd2[:, None]  # in-place: no second block temp
-            t = fl.fft2(fields, overwrite_x=True)
-            acc += np.einsum("cij,bcij->bij", wkc[lo:hi], t)
+            t = bk.fft2(fields, overwrite_x=True)
+            acc += bk.einsum("cij,bcij->bij", wkc[lo:hi], t)
             if use_pairs:
-                acc_mirror += np.einsum("cij,bcij->bij", wkc_mirror[lo:hi], t)
+                acc_mirror += bk.einsum("cij,bcij->bij", wkc_mirror[lo:hi], t)
     if need_mask and use_pairs:
         # Mate term: conj(H_s')*FFT(2 w g conj(F_s)) == the direct
         # term conjugated and frequency-reversed (one pass total).
-        acc += np.conj(fl.freq_reverse(acc_mirror))
+        acc += bk.conj(bk.freq_reverse(acc_mirror))
     return acc
 
 
@@ -739,6 +770,7 @@ def incoherent_image(
     weights = as_tensor(weights)
     s, n = _check_incoherent_args(mask, pupil_stack, weights)
     fl = _get_fftlib()
+    bk = _get_backend().active_backend()
     csize = fl.get_stream_chunk() if chunk is None else int(chunk)
     if csize < 1:
         raise ValueError(f"chunk must be >= 1; got {csize}")
@@ -747,8 +779,12 @@ def incoherent_image(
     )
     single = mask.ndim == 2
     tiles = mask.data[None] if single else mask.data
-    fm = fl.fft2(tiles)  # (B, N, N) spectra — the only saved activation
-    out = _stream_forward_one(fm, pupil_stack.data, weights.data, csize, cp, reps)
+    # (B, N, N) spectra — the only saved activation (a backend array;
+    # the VJP closure reuses both it and the backend that produced it).
+    fm = bk.fft2(bk.from_host(tiles))
+    out = _stream_forward_one(
+        bk, fm, pupil_stack.data, weights.data, csize, cp, reps
+    )
     out_data = out[0] if single else out
 
     def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
@@ -758,7 +794,7 @@ def incoherent_image(
             # differentiable (exact HVPs / unroll hypergradients).
             return _incoherent_vjp_composed(g, mask, pupil_stack, weights)
         return _incoherent_vjp_streamed(
-            g, mask, pupil_stack, weights, fm, csize, cp, reps
+            bk, g, mask, pupil_stack, weights, fm, csize, cp, reps
         )
 
     return _make(
@@ -767,32 +803,36 @@ def incoherent_image(
 
 
 def _incoherent_vjp_streamed(
+    bk: Any,
     g: Tensor,
     mask: Tensor,
     pupil_stack: Tensor,
     weights: Tensor,
-    fm: np.ndarray,
+    fm: Any,
     csize: int,
     cp: Any,
     reps: Any,
 ) -> Tuple[Optional[Tensor], ...]:
     """Graph-free streamed gradients (first-order backward hot path)."""
-    fl = _get_fftlib()
+    host = _get_backend().HOST
     s = pupil_stack.shape[0]
     single = mask.ndim == 2
     gd = g.data[None] if single else g.data
     need_mask = mask.requires_grad
     gw: Any = (
-        np.zeros(s, dtype=np.complex128 if np.iscomplexobj(gd) else np.float64)
+        host.zeros(
+            s, np.complex128 if np.iscomplexobj(gd) else np.float64
+        )
         if weights.requires_grad
         else None
     )
     acc = _stream_backward_one(
-        gd, fm, pupil_stack.data, weights.data, csize, cp, reps, need_mask, gw
+        bk, gd, fm, pupil_stack.data, weights.data, csize, cp, reps,
+        need_mask, gw,
     )
     gm_out = None
     if need_mask:
-        gm = fl.ifft2(acc, overwrite_x=True)
+        gm = bk.to_host(bk.ifft2(acc, overwrite_x=True))
         gm_out = Tensor(gm[0] if single else gm)
     return (gm_out, None, Tensor(gw) if gw is not None else None)
 
@@ -887,6 +927,7 @@ def incoherent_image_stack(
             f"({len(stacks)}); got {len(conj_pairs)}"
         )
     fl = _get_fftlib()
+    bk = _get_backend().active_backend()
     csize = fl.get_stream_chunk() if chunk is None else int(chunk)
     if csize < 1:
         raise ValueError(f"chunk must be >= 1; got {csize}")
@@ -897,7 +938,9 @@ def incoherent_image_stack(
     single = mask.ndim == 2
     tiles = mask.data[None] if single else mask.data
     b = tiles.shape[0]
-    fm = fl.fft2(tiles)  # ONE (B, N, N) spectrum for every condition
+    # ONE (B, N, N) spectrum for every condition — a read-only backend
+    # array shared across the condition pool's threads.
+    fm = bk.fft2(bk.from_host(tiles))
     w = weights.data
 
     def _forward_one(fi: int) -> np.ndarray:
@@ -905,14 +948,16 @@ def incoherent_image_stack(
         # MemoryError inside the streamed block -> halve the chunk and
         # retry once (chunk-invariant result, see fftlib).
         return fl.run_with_chunk_fallback(
-            lambda c: _stream_forward_one(fm, stacks[fi].data, w, c, cp_f, reps_f),
+            lambda c: _stream_forward_one(
+                bk, fm, stacks[fi].data, w, c, cp_f, reps_f
+            ),
             csize,
         )
 
     # Independent per-stack passes: fan out across the condition pool
     # (inline when serial) — each writes its own slot, so the stacking
     # is bitwise identical for any thread count.
-    out = np.empty((len(stacks), b, n, n), dtype=np.float64)
+    out = _get_backend().HOST.empty((len(stacks), b, n, n), np.float64)
     for fi, plane in enumerate(fl.map_conditions(_forward_one, len(stacks))):
         out[fi] = plane
     out_data = out[:, 0] if single else out
@@ -921,7 +966,7 @@ def incoherent_image_stack(
         if is_grad_enabled():
             return _incoherent_stack_vjp_composed(g, mask, stacks, weights)
         return _incoherent_stack_vjp_streamed(
-            g, mask, stacks, weights, fm, csize, pair_info
+            bk, g, mask, stacks, weights, fm, csize, pair_info
         )
 
     return _make(
@@ -930,11 +975,12 @@ def incoherent_image_stack(
 
 
 def _incoherent_stack_vjp_streamed(
+    bk: Any,
     g: Tensor,
     mask: Tensor,
     stacks: Tuple[Tensor, ...],
     weights: Tensor,
-    fm: np.ndarray,
+    fm: Any,
     csize: int,
     pair_info: Tuple,
 ) -> Tuple[Optional[Tensor], ...]:
@@ -948,6 +994,7 @@ def _incoherent_stack_vjp_streamed(
     the serial one — the reduction tree does not depend on scheduling.
     """
     fl = _get_fftlib()
+    host = _get_backend().HOST
     s = stacks[0].shape[0]
     single = mask.ndim == 2
     gd = g.data[:, None] if single else g.data  # (F, B, N, N)
@@ -962,18 +1009,20 @@ def _incoherent_stack_vjp_streamed(
             # Fresh accumulators per attempt: a MemoryError mid-pass must
             # not leave half-accumulated gradients behind for the
             # halved-chunk retry to double-count.
-            gw_f = np.zeros(s, dtype=gw_dtype) if need_w else None
+            gw_f = host.zeros(s, gw_dtype) if need_w else None
             acc = _stream_backward_one(
-                gd[fi], fm, stacks[fi].data, weights.data, c, cp_f, reps_f,
-                need_mask, gw_f,
+                bk, gd[fi], fm, stacks[fi].data, weights.data, c, cp_f,
+                reps_f, need_mask, gw_f,
             )
             return acc, gw_f
 
         return fl.run_with_chunk_fallback(_attempt, csize)
 
     results = fl.map_conditions(_backward_one, len(stacks))
-    gw: Any = np.zeros(s, dtype=gw_dtype) if need_w else None
-    acc_total: Any = np.zeros(fm.shape, dtype=np.complex128) if need_mask else None
+    gw: Any = host.zeros(s, gw_dtype) if need_w else None
+    acc_total: Any = (
+        bk.zeros(tuple(fm.shape), bk.complex128) if need_mask else None
+    )
     for acc, gw_f in results:  # fixed stack-order reduction
         if need_mask:
             acc_total += acc
@@ -981,7 +1030,7 @@ def _incoherent_stack_vjp_streamed(
             gw += gw_f
     gm_out = None
     if need_mask:
-        gm = fl.ifft2(acc_total, overwrite_x=True)
+        gm = bk.to_host(bk.ifft2(acc_total, overwrite_x=True))
         gm_out = Tensor(gm[0] if single else gm)
     return (gm_out,) + (None,) * len(stacks) + (
         Tensor(gw) if gw is not None else None,
@@ -1042,7 +1091,7 @@ def scatter(
     :func:`getitem`)."""
     x = as_tensor(x)
     dtype = np.complex128 if (complex_grad or x.is_complex) else np.float64
-    out_data = np.zeros(shape, dtype=dtype)
+    out_data = _get_backend().HOST.zeros(shape, dtype)
     np.add.at(out_data, idx, x.data)
 
     def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:

@@ -5,6 +5,7 @@ unified FFT dispatch (:mod:`repro.optics.fftlib`), and the resist
 model."""
 
 from . import fftlib
+from . import backend
 from .config import OpticalConfig, ProcessCorner, ProcessWindow
 from .source import (
     SourceGrid,
@@ -78,4 +79,5 @@ __all__ = [
     "calibrate_threshold",
     "cache",
     "fftlib",
+    "backend",
 ]

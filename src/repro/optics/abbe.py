@@ -335,17 +335,19 @@ class AbbeImaging:
         process-window objective builds one basis per focus value this
         way.
         """
-        from . import fftlib
+        from . import backend as abk
 
+        bk = abk.active_backend()
         tiles, _ = as_tile_batch(masks, self.config.mask_size)
         kernels = self._pupil_stack.data if pupil_stack is None else pupil_stack
-        fm = fftlib.fft2(tiles)  # (B, N, N)
-        out = np.empty((tiles.shape[0],) + kernels.shape)
+        fm = bk.fft2(bk.from_host(tiles))  # (B, N, N)
+        kern = bk.from_host(kernels)
+        out = abk.HOST.empty((tiles.shape[0],) + kernels.shape, np.float64)
         # Tile-at-a-time keeps the working set cache-sized; per-tile
         # results are bitwise identical to the full-stack transform.
         for b in range(tiles.shape[0]):
-            fields = fftlib.ifft2(kernels * fm[b], overwrite_x=True)
-            out[b] = (fields * np.conj(fields)).real
+            fields = bk.ifft2(kern * fm[b], overwrite_x=True)
+            out[b] = bk.to_host(bk.abs2(fields))
         return out  # (B, S, N, N)
 
     def aerial_from_basis(self, basis: ad.Tensor, source: ad.Tensor) -> ad.Tensor:

@@ -158,9 +158,12 @@ def freq_axes(config: OpticalConfig) -> Tuple[np.ndarray, np.ndarray]:
     """Memoized FFT frequency axes (1/nm) for the mask grid."""
 
     def build() -> Tuple[np.ndarray, np.ndarray]:
-        from . import fftlib
+        from . import backend
 
-        f = _freeze(fftlib.fftfreq(config.mask_size, d=config.pixel_nm))
+        bk = backend.active_backend()
+        f = _freeze(
+            bk.to_host(bk.fftfreq(config.mask_size, d=config.pixel_nm))
+        )
         return f, f
 
     return _lookup("freq_axes", _grid_key(config), build)

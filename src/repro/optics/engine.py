@@ -42,6 +42,7 @@ from typing import Optional, Protocol, Tuple, Union, runtime_checkable
 import numpy as np
 
 from .. import autodiff as ad
+from . import backend as abk
 from . import fftlib
 from .config import OpticalConfig
 
@@ -142,21 +143,24 @@ def incoherent_sum_fast(
     set stays cache-sized instead of materializing a ``(B*K, N, N)``
     intermediate.
 
-    All transforms dispatch through :mod:`repro.optics.fftlib` (backend
+    All array ops route through the active
+    :mod:`repro.optics.backend` seam; the default numpy backend
+    dispatches transforms through :mod:`repro.optics.fftlib` (backend
     and worker count are env/config-controlled), and this inference-only
     path honors the fftlib compute-precision policy: under
     ``fftlib.set_precision("single")`` the transforms run in
     complex64 (scipy backend) and the result is cast back to float64.
     """
+    bk = abk.active_backend()
     active = np.nonzero(weights)[0]
     if active.size < weights.size:
         kernel_stack = kernel_stack[active]
         weights = weights[active]
-    out = np.empty(tiles.shape, dtype=np.float64)
+    out = abk.HOST.empty(tiles.shape, np.float64)
     if active.size == 0:
         out.fill(0.0)
         return out
-    ftype, ctype = fftlib.compute_dtypes()
+    ftype, ctype = bk.compute_dtypes()
     tiles = tiles.astype(ctype if np.iscomplexobj(tiles) else ftype, copy=False)
     kernel_stack = kernel_stack.astype(
         ctype if np.iscomplexobj(kernel_stack) else ftype, copy=False
@@ -164,11 +168,15 @@ def incoherent_sum_fast(
     weights = weights.astype(ftype, copy=False)
     flat = weights.size
     n2 = tiles.shape[-2] * tiles.shape[-1]
-    spectra = fftlib.fft2(tiles)  # (B, N, N)
+    kernels = bk.from_host(kernel_stack)
+    w = bk.from_host(weights)
+    spectra = bk.fft2(bk.from_host(tiles))  # (B, N, N)
     for b in range(tiles.shape[0]):
-        fields = fftlib.ifft2(kernel_stack * spectra[b], overwrite_x=True)
-        intensity = np.square(fields.real) + np.square(fields.imag)
-        out[b] = (weights @ intensity.reshape(flat, n2)).reshape(tiles.shape[1:])
+        fields = bk.ifft2(kernels * spectra[b], overwrite_x=True)
+        intensity = bk.abs2(fields)
+        out[b] = bk.to_host(
+            (w @ intensity.reshape(flat, n2)).reshape(tiles.shape[1:])
+        )
     out /= norm
     return out
 

@@ -1,0 +1,25 @@
+"""R9 fixture (violations): out-of-seam allocation and transforms in a
+hot-path module.
+
+Linted as module ``repro.autodiff.stream_fixture``; expects R9 findings
+for the raw ``np.zeros``/``np.empty`` allocations and the direct
+``fftlib.fft2``/``fftlib.ifft2``/``freq_reverse`` calls, which must all
+route through :mod:`repro.optics.backend`.
+"""
+
+import numpy as np
+
+from repro.optics import fftlib
+from repro.optics.fftlib import freq_reverse
+
+__all__ = ["stream"]
+
+
+def stream(tiles, kernels):
+    acc = np.zeros(tiles.shape, np.complex128)
+    out = np.empty(tiles.shape, np.float64)
+    spectra = fftlib.fft2(tiles)
+    fields = fftlib.ifft2(kernels * spectra)
+    acc += freq_reverse(fields)
+    out[:] = (acc * acc.conj()).real
+    return out

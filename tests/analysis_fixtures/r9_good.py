@@ -1,0 +1,27 @@
+"""R9 fixture (clean): the same streaming pass routed through the
+array-backend seam.
+
+Linted as module ``repro.autodiff.stream_fixture``.  Host-side graph
+plumbing (``np.zeros_like``) and fftlib policy helpers
+(``get_stream_chunk``) stay legal; allocation and transforms go
+through the active backend.
+"""
+
+import numpy as np
+
+from repro.optics import backend, fftlib
+
+__all__ = ["stream"]
+
+
+def stream(tiles, kernels):
+    bk = backend.active_backend()
+    chunk = fftlib.get_stream_chunk()
+    acc = bk.zeros(tiles.shape, bk.complex128)
+    spectra = bk.fft2(bk.from_host(tiles))
+    for lo in range(0, kernels.shape[0], chunk):
+        fields = bk.ifft2(bk.from_host(kernels[lo : lo + chunk]) * spectra)
+        acc += bk.freq_reverse(fields)
+    out = backend.HOST.empty(tiles.shape, np.float64)
+    out[:] = bk.to_host(bk.abs2(acc))
+    return np.zeros_like(out) + out

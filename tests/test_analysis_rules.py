@@ -26,6 +26,7 @@ CASES = {
     "R6": ("repro.smo.pool_fixture", 2),
     "R7": ("repro.smo.guard_fixture", 1),
     "R8": ("repro.utils.api_fixture", 2),
+    "R9": ("repro.autodiff.stream_fixture", 5),
 }
 
 #: good fixtures that legitimately lint under a different module name
@@ -78,6 +79,21 @@ def test_r4_only_scopes_autodiff():
     source = (FIXTURES / "r4_bad.py").read_text(encoding="utf-8")
     report = lint_source(source, module_name="repro.smo.ops_fixture", select=["R4"])
     assert report.findings == []
+
+
+def test_r9_only_scopes_hot_path_modules():
+    source = (FIXTURES / "r9_bad.py").read_text(encoding="utf-8")
+    # the seam provider itself and non-hot-path library code are exempt
+    for module_name in (
+        "repro.optics.backend",
+        "repro.optics.fftlib",
+        "repro.smo.stream_fixture",
+    ):
+        report = lint_source(source, module_name=module_name, select=["R9"])
+        assert report.findings == []
+    # the imaging engines are in scope like the autodiff package
+    report = lint_source(source, module_name="repro.optics.engine", select=["R9"])
+    assert len(report.findings) >= 5
 
 
 def test_r5_wall_clock_allowed_in_harness():
