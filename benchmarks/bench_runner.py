@@ -53,6 +53,28 @@ def _fftlib_fingerprint() -> Optional[Dict[str, Any]]:
     return fftlib.describe()
 
 
+def _obs_fingerprint() -> Optional[Dict[str, Any]]:
+    """Observability snapshot for the entry's environment fingerprint.
+
+    Captures the obs metric registry (cache hit/miss counts, FFT and
+    chunk counters, harness retry totals) alongside the enabled flags,
+    so a perf-trajectory entry records *how much work* the benchmarked
+    code actually did — a speedup entry whose FFT count also changed is
+    an algorithmic change, not a perf delta.  ``None`` when the package
+    is not importable (standalone recorder use).
+    """
+    try:
+        from repro import obs
+    except ImportError:
+        return None
+    snap = obs.snapshot()
+    snap["enabled"] = {
+        "trace": obs.trace_enabled(),
+        "metrics": obs.metrics_enabled(),
+    }
+    return snap
+
+
 def _git_revision() -> Optional[str]:
     try:
         out = subprocess.run(
@@ -75,8 +97,9 @@ def record_bench(
 
     ``payload`` must be JSON-serializable; the helper adds the run
     metadata (UTC timestamp, git revision, python/platform fingerprint,
-    CPU count, and the live ``fftlib.describe()`` threading policy) so
-    trajectory entries are comparable across machines.  A corrupt or
+    CPU count, the live ``fftlib.describe()`` threading policy, and the
+    ``repro.obs`` metrics snapshot — cache hit rates, FFT counts, retry
+    totals) so trajectory entries are comparable across machines.  A corrupt or
     legacy file is replaced rather than crashing the benchmark that
     reports into it.
     """
@@ -98,6 +121,7 @@ def record_bench(
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
             "fftlib": _fftlib_fingerprint(),
+            "obs": _obs_fingerprint(),
             "payload": payload,
         }
     )

@@ -6,7 +6,8 @@ are only permitted in the designated reader modules listed in
 ``RAW_READER_MODULES`` (:mod:`repro.optics.fftlib` and
 :mod:`repro.optics.backend` for the library,
 ``benchmarks/bench_env.py`` for the benchmark suite,
-:mod:`repro.harness.resilience` for the harness resilience knobs, and
+:mod:`repro.harness.resilience` for the harness resilience knobs,
+:mod:`repro.obs.state` for the observability switches, and
 :mod:`repro.utils.faultinject` for the fault plan, which must stay
 importable before the rest of the package).  The R2 project check additionally
 cross-checks this registry against the env-var table in ``README.md``
@@ -36,6 +37,9 @@ DECLARED_ENV_VARS: Dict[str, str] = {
     # -- resilience knobs (read by repro.harness.resilience) -----------
     "REPRO_CELL_TIMEOUT": "harness per-cell wall-clock timeout in seconds (0 = off)",
     "REPRO_MAX_RETRIES": "harness per-cell retry budget for transient faults",
+    # -- observability (read by repro.obs.state) -----------------------
+    "REPRO_TRACE": "span tracing: 1 = on, mem = with tracemalloc peaks, 0 = off",
+    "REPRO_METRICS": "metrics registry: 1 = on, 0 = off",
     # -- fault injection (read by repro.utils.faultinject) -------------
     "REPRO_FAULT_PLAN": "deterministic fault-injection plan (tests/CI)",
     # -- benchmark knobs (read by benchmarks.bench_env) ----------------
@@ -72,6 +76,7 @@ RAW_READER_MODULES: Tuple[str, ...] = (
     "repro.optics.backend",
     "benchmarks.bench_env",
     "repro.harness.resilience",
+    "repro.obs.state",
     "repro.utils.faultinject",
 )
 

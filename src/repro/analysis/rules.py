@@ -1,4 +1,4 @@
-"""The reprolint rules R1-R9, each encoding one project invariant.
+"""The reprolint rules R1-R10, each encoding one project invariant.
 
 =====  ==================  ================================================
 rule   name                invariant it guards
@@ -12,6 +12,7 @@ R6     pool-hygiene        fftlib/harness are the only parallelism owners
 R7     no-assert           library invariants raise real exceptions
 R8     public-api          every repro.* module declares a truthful __all__
 R9     backend-seam        hot paths allocate/transform via optics.backend
+R10    metrics-registry    obs span/metric names are declared in the registry
 =====  ==================  ================================================
 
 Rules receive one :class:`~repro.analysis.engine.Module` at a time; the
@@ -32,6 +33,7 @@ from .registry import (
     is_declared_env_var,
     is_governed_env_var,
 )
+from ..obs import registry as obs_registry
 
 __all__ = ["Rule", "ALL_RULES", "rules_by_id"]
 
@@ -74,6 +76,38 @@ def _import_aliases(tree: ast.Module) -> Dict[str, str]:
                     continue
                 local = alias.asname or alias.name
                 aliases[local] = node.module + "." + alias.name
+    return aliases
+
+
+def _aliases_with_relatives(module: Module) -> Dict[str, str]:
+    """:func:`_import_aliases` plus relative imports resolved to full paths.
+
+    The library's own obs call sites bind relatively
+    (``from ..obs import span as obs_span``), which the absolute-only
+    alias map skips; this variant resolves ``node.level`` against the
+    module's package so those bindings participate in :func:`_resolve`.
+    """
+    aliases = _import_aliases(module.tree)
+    if not module.module:
+        return aliases
+    parts = str(module.module).split(".")
+    # the package the module's relative imports are anchored to;
+    # __init__ modules are their own package
+    pkg = parts if module.rel.endswith("__init__.py") else parts[:-1]
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ImportFrom) and node.level > 0):
+            continue
+        hops = node.level - 1
+        if hops > len(pkg):
+            continue  # import reaches above the package root; unresolvable
+        base = pkg[: len(pkg) - hops]
+        target = ".".join(base + ([node.module] if node.module else []))
+        if not target:
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            aliases[alias.asname or alias.name] = target + "." + alias.name
     return aliases
 
 
@@ -518,7 +552,8 @@ class DeterminismRule(Rule):
     name = "determinism"
     description = (
         "no unseeded RNGs, no set iteration feeding float accumulation, "
-        "no wall-clock reads outside repro.harness / repro.utils.timing"
+        "no wall-clock reads outside repro.harness / repro.obs / "
+        "repro.utils.timing"
     )
 
     _LEGACY_RNG = frozenset(
@@ -555,7 +590,11 @@ class DeterminismRule(Rule):
             "datetime.date.today",
         }
     )
-    _CLOCK_EXEMPT_PREFIXES = ("repro.harness", "repro.utils.timing")
+    # the harness owns run timing, utils.timing owns the monotonic seam,
+    # and the observability layer (repro.obs) is the second sanctioned
+    # wall-clock consumer: its spans time arbitrary library scopes, but
+    # everything it records flows through utils.timing.tick
+    _CLOCK_EXEMPT_PREFIXES = ("repro.harness", "repro.obs", "repro.utils.timing")
 
     def check(self, module: Module) -> Iterable[Finding]:
         aliases = _import_aliases(module.tree)
@@ -886,6 +925,95 @@ class BackendSeamRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# R10: metrics-registry
+# ---------------------------------------------------------------------------
+
+
+class MetricsRegistryRule(Rule):
+    rule_id = "R10"
+    name = "metrics-registry"
+    description = (
+        "span/metric names passed to repro.obs outside the obs package "
+        "are string literals declared in repro.obs.registry"
+    )
+
+    # obs entry points whose first argument is a span name
+    _SPAN_FUNCS = frozenset({"span", "traced"})
+    # obs entry points whose first argument is a metric name, mapped to
+    # the kind the registry must declare for it
+    _METRIC_FUNCS = {
+        "counter": "counter",
+        "gauge": "gauge",
+        "histogram": "histogram",
+    }
+    # modules that export the governed entry points (the package facade
+    # plus the implementing submodules)
+    _OBS_MODULES = ("repro.obs", "repro.obs.trace", "repro.obs.metrics")
+
+    def _obs_func(self, resolved: str) -> Optional[str]:
+        head, _, func = resolved.rpartition(".")
+        if head in self._OBS_MODULES and (
+            func in self._SPAN_FUNCS or func in self._METRIC_FUNCS
+        ):
+            return func
+        return None
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        name = str(module.module or "")
+        # the obs package itself plumbs names generically (registry
+        # lookups, exporters) and is the one place allowed to handle
+        # them as data rather than declared literals
+        if name == "repro.obs" or name.startswith("repro.obs."):
+            return
+        aliases = _aliases_with_relatives(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve(node.func, aliases)
+            if resolved is None:
+                continue
+            func = self._obs_func(resolved)
+            if func is None:
+                continue
+            literal = _const_str(node.args[0]) if node.args else None
+            if literal is None:
+                yield _finding(
+                    self.rule_id,
+                    module,
+                    node,
+                    f"obs.{func}() name must be a string literal declared "
+                    "in repro.obs.registry",
+                )
+            elif func in self._SPAN_FUNCS:
+                if not obs_registry.is_declared_span(literal):
+                    yield _finding(
+                        self.rule_id,
+                        module,
+                        node,
+                        f"span name '{literal}' is not declared in "
+                        "repro.obs.registry.DECLARED_SPANS",
+                    )
+            else:
+                kind = obs_registry.metric_kind(literal)
+                if kind is None:
+                    yield _finding(
+                        self.rule_id,
+                        module,
+                        node,
+                        f"metric name '{literal}' is not declared in "
+                        "repro.obs.registry.DECLARED_METRICS",
+                    )
+                elif kind != self._METRIC_FUNCS[func]:
+                    yield _finding(
+                        self.rule_id,
+                        module,
+                        node,
+                        f"metric '{literal}' is declared as a {kind}; "
+                        f"use obs.{kind}() instead of obs.{func}()",
+                    )
+
+
 ALL_RULES: Tuple[Type[Rule], ...] = (
     FftSeamRule,
     EnvRegistryRule,
@@ -896,6 +1024,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     NoAssertRule,
     PublicApiRule,
     BackendSeamRule,
+    MetricsRegistryRule,
 )
 
 

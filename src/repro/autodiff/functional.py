@@ -20,6 +20,8 @@ from typing import Any, Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import counter as _obs_counter
+from ..obs import span as _obs_span
 from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
@@ -615,13 +617,22 @@ def _stream_forward_one(
     w_eff = bk.from_host(w_h)
     nn = n * n
     out = bk.zeros((b, n, n), bk.float64)
+    chunks = _obs_counter("imaging.chunks")
+    iffts = _obs_counter("imaging.ifft2")
     for lo in range(0, r, csize):
         hi = min(r, lo + csize)
-        # One (B, C, N, N) transform block per chunk: big enough to
-        # amortize dispatch, small enough to stay transient.
-        fields = bk.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
-        intens = bk.abs2(fields)
-        out += (w_eff[lo:hi] @ intens.reshape(b, hi - lo, nn)).reshape(b, n, n)
+        with _obs_span("fft.chunk", lo=lo, hi=hi, pass_="forward"):
+            # One (B, C, N, N) transform block per chunk: big enough to
+            # amortize dispatch, small enough to stay transient.
+            fields = bk.ifft2(
+                kern_r[lo:hi][None] * fm[:, None], overwrite_x=True
+            )
+            intens = bk.abs2(fields)
+            out += (
+                w_eff[lo:hi] @ intens.reshape(b, hi - lo, nn)
+            ).reshape(b, n, n)
+        chunks.inc()
+        iffts.inc()
     return bk.to_host(out)
 
 
@@ -679,35 +690,48 @@ def _stream_backward_one(
             acc_mirror = bk.zeros((b, n, n), bk.complex128)
         else:
             wkc = bk.from_host(w[:, None, None] * np.conj(kern))
+    chunks = _obs_counter("imaging.chunks")
+    iffts = _obs_counter("imaging.ifft2")
+    ffts = _obs_counter("imaging.fft2")
     for lo in range(0, r, csize):
         hi = min(r, lo + csize)
-        # Recomputed (B, C, N, N) block, never retained.
-        fields = bk.ifft2(kern_r[lo:hi][None] * fm[:, None], overwrite_x=True)
-        if need_w:
-            intens = bk.abs2(fields)
-            if gd_complex:
-                intens = bk.astype(intens, bk.complex128)
-            val = bk.to_host(
-                bk.sum(
-                    (intens.reshape(b, hi - lo, nn) @ gdr)[:, :, 0], axis=0
-                )
+        with _obs_span("fft.chunk", lo=lo, hi=hi, pass_="backward"):
+            # Recomputed (B, C, N, N) block, never retained.
+            fields = bk.ifft2(
+                kern_r[lo:hi][None] * fm[:, None], overwrite_x=True
             )
-            if use_pairs:
-                # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
-                # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
-                gw[reps[lo:hi]] += val
-                pc = is_pair[lo:hi]
-                # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
-                gw[mates[lo:hi][pc]] += val[pc]
-            else:
-                # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
-                gw[lo:hi] += val
+            if need_w:
+                intens = bk.abs2(fields)
+                if gd_complex:
+                    intens = bk.astype(intens, bk.complex128)
+                val = bk.to_host(
+                    bk.sum(
+                        (intens.reshape(b, hi - lo, nn) @ gdr)[:, :, 0],
+                        axis=0,
+                    )
+                )
+                if use_pairs:
+                    # |F[s']|^2 == |F[s]|^2, so mates share the contraction.
+                    # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
+                    gw[reps[lo:hi]] += val
+                    pc = is_pair[lo:hi]
+                    # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
+                    gw[mates[lo:hi][pc]] += val[pc]
+                else:
+                    # reprolint: allow[R4] gw is a private per-stack accumulator the caller allocates; never a saved tensor
+                    gw[lo:hi] += val
+            if need_mask:
+                fields *= gd2[:, None]  # in-place: no second block temp
+                t = bk.fft2(fields, overwrite_x=True)
+                acc += bk.einsum("cij,bcij->bij", wkc[lo:hi], t)
+                if use_pairs:
+                    acc_mirror += bk.einsum(
+                        "cij,bcij->bij", wkc_mirror[lo:hi], t
+                    )
+        chunks.inc()
+        iffts.inc()
         if need_mask:
-            fields *= gd2[:, None]  # in-place: no second block temp
-            t = bk.fft2(fields, overwrite_x=True)
-            acc += bk.einsum("cij,bcij->bij", wkc[lo:hi], t)
-            if use_pairs:
-                acc_mirror += bk.einsum("cij,bcij->bij", wkc_mirror[lo:hi], t)
+            ffts.inc()
     if need_mask and use_pairs:
         # Mate term: conj(H_s')*FFT(2 w g conj(F_s)) == the direct
         # term conjugated and frequency-reversed (one pass total).
@@ -781,10 +805,11 @@ def incoherent_image(
     tiles = mask.data[None] if single else mask.data
     # (B, N, N) spectra — the only saved activation (a backend array;
     # the VJP closure reuses both it and the backend that produced it).
-    fm = bk.fft2(bk.from_host(tiles))
-    out = _stream_forward_one(
-        bk, fm, pupil_stack.data, weights.data, csize, cp, reps
-    )
+    with _obs_span("imaging.forward", op="incoherent_image", s=s, n=n):
+        fm = bk.fft2(bk.from_host(tiles))
+        out = _stream_forward_one(
+            bk, fm, pupil_stack.data, weights.data, csize, cp, reps
+        )
     out_data = out[0] if single else out
 
     def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
@@ -826,14 +851,15 @@ def _incoherent_vjp_streamed(
         if weights.requires_grad
         else None
     )
-    acc = _stream_backward_one(
-        bk, gd, fm, pupil_stack.data, weights.data, csize, cp, reps,
-        need_mask, gw,
-    )
-    gm_out = None
-    if need_mask:
-        gm = bk.to_host(bk.ifft2(acc, overwrite_x=True))
-        gm_out = Tensor(gm[0] if single else gm)
+    with _obs_span("imaging.vjp", op="incoherent_image", s=s):
+        acc = _stream_backward_one(
+            bk, gd, fm, pupil_stack.data, weights.data, csize, cp, reps,
+            need_mask, gw,
+        )
+        gm_out = None
+        if need_mask:
+            gm = bk.to_host(bk.ifft2(acc, overwrite_x=True))
+            gm_out = Tensor(gm[0] if single else gm)
     return (gm_out, None, Tensor(gw) if gw is not None else None)
 
 
@@ -947,19 +973,25 @@ def incoherent_image_stack(
         cp_f, reps_f = pair_info[fi]
         # MemoryError inside the streamed block -> halve the chunk and
         # retry once (chunk-invariant result, see fftlib).
-        return fl.run_with_chunk_fallback(
-            lambda c: _stream_forward_one(
-                bk, fm, stacks[fi].data, w, c, cp_f, reps_f
-            ),
-            csize,
-        )
+        with _obs_span("engine.condition", index=fi):
+            return fl.run_with_chunk_fallback(
+                lambda c: _stream_forward_one(
+                    bk, fm, stacks[fi].data, w, c, cp_f, reps_f
+                ),
+                csize,
+            )
 
     # Independent per-stack passes: fan out across the condition pool
     # (inline when serial) — each writes its own slot, so the stacking
     # is bitwise identical for any thread count.
     out = _get_backend().HOST.empty((len(stacks), b, n, n), np.float64)
-    for fi, plane in enumerate(fl.map_conditions(_forward_one, len(stacks))):
-        out[fi] = plane
+    with _obs_span(
+        "imaging.forward", op="incoherent_image_stack", stacks=len(stacks)
+    ):
+        for fi, plane in enumerate(
+            fl.map_conditions(_forward_one, len(stacks))
+        ):
+            out[fi] = plane
     out_data = out[:, 0] if single else out
 
     def vjp(g: Tensor) -> Tuple[Optional[Tensor], ...]:
@@ -1016,9 +1048,13 @@ def _incoherent_stack_vjp_streamed(
             )
             return acc, gw_f
 
-        return fl.run_with_chunk_fallback(_attempt, csize)
+        with _obs_span("engine.condition", index=fi):
+            return fl.run_with_chunk_fallback(_attempt, csize)
 
-    results = fl.map_conditions(_backward_one, len(stacks))
+    with _obs_span(
+        "imaging.vjp", op="incoherent_image_stack", stacks=len(stacks)
+    ):
+        results = fl.map_conditions(_backward_one, len(stacks))
     gw: Any = host.zeros(s, gw_dtype) if need_w else None
     acc_total: Any = (
         bk.zeros(tuple(fm.shape), bk.complex128) if need_mask else None

@@ -17,6 +17,8 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from .. import autodiff as ad
+from ..obs import observe_iteration
+from ..obs import span as obs_span
 from ..opt import make_optimizer
 from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow
@@ -161,19 +163,23 @@ class MultiLevelILT:
             iters = per_level if li < n_levels - 1 else iterations - per_level * (n_levels - 1)
             for _ in range(iters):
                 t0 = tick()
-                tm = ad.Tensor(theta, requires_grad=True)
-                loss = objective.loss(tm)
-                (gm,) = ad.grad(loss, [tm])
-                # Losses at coarse levels are on fewer pixels; scale to the
-                # native grid so the convergence trace is comparable.
-                scale = (self.config.mask_size / cfg.mask_size) ** 2
-                tiles = (
-                    objective.last_tile_losses * scale
-                    if objective.last_tile_losses is not None
-                    else None
-                )
-                theta = opt.step(theta, gm.data)
-                corner_w = adaptive_corner_update(objective)
+                with obs_span(
+                    "solver.iter", solver=self.method_name, iteration=step
+                ):
+                    tm = ad.Tensor(theta, requires_grad=True)
+                    loss = objective.loss(tm)
+                    (gm,) = ad.grad(loss, [tm])
+                    # Losses at coarse levels are on fewer pixels; scale
+                    # to the native grid so the convergence trace is
+                    # comparable.
+                    scale = (self.config.mask_size / cfg.mask_size) ** 2
+                    tiles = (
+                        objective.last_tile_losses * scale
+                        if objective.last_tile_losses is not None
+                        else None
+                    )
+                    theta = opt.step(theta, gm.data)
+                    corner_w = adaptive_corner_update(objective)
                 rec = IterationRecord(
                     step,
                     float(loss.data) * scale,
@@ -182,6 +188,7 @@ class MultiLevelILT:
                     tile_losses=tiles,
                     corner_weights=corner_w,
                 )
+                observe_iteration(rec, grad=gm)
                 history.append(rec)
                 step += 1
                 if callback and callback(rec):

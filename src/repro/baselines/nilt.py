@@ -18,6 +18,8 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import functional as F
+from ..obs import observe_iteration
+from ..obs import span as obs_span
 from ..opt import make_optimizer
 from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow, engine_for
@@ -132,12 +134,15 @@ class NILTBaseline:
         start = tick()
         for it in range(iterations):
             t0 = tick()
-            tm = ad.Tensor(theta_m, requires_grad=True)
-            loss = self._loss(tm)
-            (gm,) = ad.grad(loss, [tm])
-            tiles = self._last_tile_losses
-            theta_m = self._opt.step(theta_m, gm.data)
-            corner_w = adaptive_corner_update(self)
+            with obs_span(
+                "solver.iter", solver=self.method_name, iteration=it
+            ):
+                tm = ad.Tensor(theta_m, requires_grad=True)
+                loss = self._loss(tm)
+                (gm,) = ad.grad(loss, [tm])
+                tiles = self._last_tile_losses
+                theta_m = self._opt.step(theta_m, gm.data)
+                corner_w = adaptive_corner_update(self)
             rec = IterationRecord(
                 it,
                 float(loss.data),
@@ -146,6 +151,7 @@ class NILTBaseline:
                 tile_losses=tiles,
                 corner_weights=corner_w,
             )
+            observe_iteration(rec, grad=gm)
             history.append(rec)
             if callback and callback(rec):
                 break

@@ -15,10 +15,13 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
+import json
 import sys
+import tempfile
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from ..layouts import dataset_by_name, DATASET_NAMES
 from ..optics import ProcessWindow
@@ -65,6 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
             nargs="*",
             default=None,
             help=f"subset of methods (default: all of {', '.join(METHOD_ORDER)})",
+        )
+        p.add_argument(
+            "--trace",
+            type=Path,
+            default=None,
+            metavar="PATH",
+            help="enable span tracing and write a merged Chrome "
+            "trace-event JSON (loadable in Perfetto / chrome://tracing) "
+            "to PATH after the run; parallel sweeps merge per-worker "
+            "shards deterministically",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="enable the obs metrics registry and print a text "
+            "summary (counters, cache hit rates, FFT counts) to stderr "
+            "after the run; for parallel sweeps the merged per-worker "
+            "totals ride the --trace file's otherData.metrics",
         )
 
     def resilience(p: argparse.ArgumentParser) -> None:
@@ -131,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(pw)
     resilience(pw)
+    pw.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (records stay in serial "
+        "order with identical numeric content)",
+    )
     pw.add_argument("--dataset", default="ICCAD13", choices=list(DATASET_NAMES))
     pw.add_argument(
         "--pw-doses",
@@ -187,12 +215,78 @@ def _datasets(args: argparse.Namespace):
     return [dataset_by_name(n, num_clips=max(args.clips, 1)) for n in DATASET_NAMES]
 
 
+@contextlib.contextmanager
+def _obs_session(
+    args: argparse.Namespace, cell_labels: List[str]
+) -> Iterator[None]:
+    """Enable :mod:`repro.obs` for the duration of one CLI command.
+
+    ``--trace PATH`` turns on span tracing with a temporary shard
+    directory; on exit the per-process shards are merged — in the
+    submission order captured by *cell_labels* (filled from the
+    ``"start"`` progress events as the command runs) — into one Chrome
+    trace-event JSON at PATH.  Commands that never enter a harness cell
+    (fig3/fig5) produce no shards and fall back to exporting the
+    in-process event buffer.  ``--metrics`` prints the parent registry's
+    text summary to stderr.
+    """
+    trace_path: Optional[Path] = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if trace_path is None and not want_metrics:
+        yield
+        return
+    from .. import obs
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
+        with obs.use(
+            trace=trace_path is not None,
+            metrics=True,
+            shard_dir=tmp if trace_path is not None else None,
+        ):
+            yield
+            if trace_path is not None:
+                shards = obs.discover_shards(tmp)
+                if shards:
+                    trace = obs.merge_shards(shards, cell_labels)
+                else:
+                    trace = obs.chrome_trace(
+                        obs.drain_events(), metrics=obs.values()
+                    )
+                trace_path.parent.mkdir(parents=True, exist_ok=True)
+                trace_path.write_text(
+                    json.dumps(trace, sort_keys=True), encoding="utf-8"
+                )
+                print(
+                    f"[obs] wrote Chrome trace to {trace_path}",
+                    file=sys.stderr,
+                )
+            if want_metrics:
+                print(obs.summary_table(obs.snapshot()), file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     out_dir: Optional[Path] = getattr(args, "out", None)
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    cell_labels: List[str] = []
 
+    def progress(event: object) -> None:
+        if getattr(event, "status", None) == "start" and getattr(
+            event, "label", ""
+        ):
+            cell_labels.append(str(event.label))
+        print(f"[run] {event}", file=sys.stderr)
+
+    with _obs_session(args, cell_labels):
+        return _run_command(args, out_dir, progress)
+
+
+def _run_command(
+    args: argparse.Namespace,
+    out_dir: Optional[Path],
+    progress,
+) -> int:
     if args.command in ("table3", "table4", "tables", "all"):
         settings = _settings(args)
         methods = args.methods or METHOD_ORDER
@@ -201,7 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             settings,
             methods=methods,
             clips_per_dataset=args.clips,
-            progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+            progress=progress,
             workers=args.workers,
             joint=args.joint,
             checkpoint=args.resume,
@@ -245,7 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint=args.resume,
             cell_timeout=args.cell_timeout,
             max_retries=args.max_retries,
-            progress=lambda msg: print(f"[run] {msg}", file=sys.stderr),
+            progress=progress,
+            workers=args.workers,
         )
         if any(not rec.ok for rec in records):
             print(render_table(sweep_health(records)), file=sys.stderr)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -25,9 +26,16 @@ from ..metrics import epe_report, l2_error_nm2, pvb_band_nm2
 from ..optics import OpticalConfig, ProcessWindow
 from ..smo import SMOResult, ProcessWindowSMOObjective, init_theta_source
 from ..smo.objective import robust_tile_losses
+from .. import obs
 from ..utils.faultinject import fault_point
-from .resilience import RecordCodec, RetryPolicy, execute_cells
-from .runner import RunSettings, _annular_source, _dispatch, _target_image
+from .resilience import CellProgress, RecordCodec, RetryPolicy, execute_cells
+from .runner import (
+    RunSettings,
+    _annular_source,
+    _dispatch,
+    _target_image,
+    _worker_warmup,
+)
 from .tables import TableData
 
 __all__ = [
@@ -221,17 +229,20 @@ def _run_pw_cell(
     fault_point("harness.run_cell")
     method, dataset_name, clip = cell
     cfg = settings.config
-    target = _target_image(clip, cfg)
-    source = _annular_source(cfg)
-    start = time.perf_counter()
-    result = _dispatch(method, settings, target, source)
-    runtime = time.perf_counter() - start
-    rec = evaluate_process_window(result, clip, settings, source_fallback=source)
-    rec.method = method
-    rec.dataset = dataset_name
-    rec.runtime_s = runtime
-    rec.losses = result.losses
-    return [rec]
+    with obs.cell_scope(f"{dataset_name}/{clip.name}/{method}"):
+        target = _target_image(clip, cfg)
+        source = _annular_source(cfg)
+        start = time.perf_counter()
+        result = _dispatch(method, settings, target, source)
+        runtime = time.perf_counter() - start
+        rec = evaluate_process_window(
+            result, clip, settings, source_fallback=source
+        )
+        rec.method = method
+        rec.dataset = dataset_name
+        rec.runtime_s = runtime
+        rec.losses = result.losses
+        return [rec]
 
 
 def _pw_failure_records(
@@ -285,17 +296,22 @@ def run_process_window(
     cell_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     progress: Optional[Any] = None,
+    workers: int = 1,
 ) -> List[ProcessWindowRecord]:
     """Run each (method, clip) cell robustly and judge the full window.
 
     ``settings.process_window`` must be set: every solver optimizes the
     robust objective across it, and the report judges the same corners.
 
-    With ``checkpoint`` set the run goes through the fault-tolerant
-    executor (:mod:`repro.harness.resilience`): completed cells are
-    journaled as they finish and skipped on a resumed run, retries
-    follow the same taxonomy as :func:`repro.harness.run_matrix`, and a
-    cell that exhausts its budget yields a structured failure record.
+    With ``checkpoint`` set (or ``workers > 1``) the run goes through
+    the fault-tolerant executor (:mod:`repro.harness.resilience`):
+    completed cells are journaled as they finish and skipped on a
+    resumed run, retries follow the same taxonomy as
+    :func:`repro.harness.run_matrix`, and a cell that exhausts its
+    budget yields a structured failure record.  ``workers > 1`` shards
+    cells across processes like :func:`run_matrix` — same warm cache,
+    worker-budget split, and obs-config forwarding — and records come
+    back in the serial order.
     """
     if settings.process_window is None:
         raise ValueError("run_process_window needs settings.process_window")
@@ -303,21 +319,51 @@ def run_process_window(
         (method, dataset_name, clip) for clip in clips for method in methods
     ]
     resilient = (
-        checkpoint is not None or cell_timeout is not None or max_retries is not None
+        workers > 1
+        or checkpoint is not None
+        or cell_timeout is not None
+        or max_retries is not None
     )
     if not resilient:
         records: List[ProcessWindowRecord] = []
         for cell in cells:
-            records.extend(_run_pw_cell(cell, settings))
+            method, ds, clip = cell
+            label = f"{ds}/{clip.name}/{method}"
+            if progress:
+                progress(CellProgress(label, "start", attempts=1))
+            t0 = time.monotonic()
+            cell_records = _run_pw_cell(cell, settings)
+            if progress:
+                progress(
+                    CellProgress(
+                        label, "ok", seconds=time.monotonic() - t0, attempts=1
+                    )
+                )
+            records.extend(cell_records)
         return records
     labels = [f"{ds}/{clip.name}/{method}" for method, ds, clip in cells]
     policy = None if max_retries is None else RetryPolicy(max_retries=max_retries)
+    worker_budget = max(1, (os.cpu_count() or 1) // max(1, workers))
+
+    def pool_factory() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_warmup,
+            initargs=(
+                settings.config,
+                worker_budget,
+                settings.process_window,
+                obs.export_config(),
+            ),
+        )
+
     outcomes = execute_cells(
         cells,
         labels,
         partial(_run_pw_cell, settings=settings),
         PW_RECORD_CODEC,
-        workers=1,
+        workers=workers,
+        pool_factory=pool_factory if workers > 1 else None,
         policy=policy,
         cell_timeout=cell_timeout,
         checkpoint=checkpoint,

@@ -56,6 +56,7 @@ from typing import (
     Union,
 )
 
+from .. import obs
 from ..utils.seed import seeded_rng
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "RetryPolicy",
     "RecordCodec",
     "CellOutcome",
+    "CellProgress",
     "CheckpointJournal",
     "JOURNAL_VERSION",
     "sweep_fingerprint",
@@ -181,6 +183,47 @@ class RecordCodec:
     decode: Callable[[List[Dict[str, Any]]], List[Any]]
     failure: Callable[[Any, str, str, int], List[Any]]
     stamp: Callable[[List[Any], str, int, str], None]
+
+
+@dataclass(frozen=True)
+class CellProgress:
+    """One structured progress event from the executor.
+
+    Callers used to receive bare label strings, which made it impossible
+    to distinguish "cell started" from "cell finished" or to recover the
+    wall-clock cost of a cell without re-deriving it.  Every progress
+    emission is now one of these; ``str()`` renders the human-readable
+    line the CLI prints, so string-minded consumers keep working.
+
+    ``status`` is one of ``"start"`` / ``"ok"`` / ``"failed"`` /
+    ``"timeout"`` / ``"retry"`` / ``"info"``; ``seconds`` is the
+    measured wall clock of the attempt (terminal events only, ``None``
+    when unknown); ``attempts`` counts attempts so far including the one
+    being reported; ``error`` carries the abbreviated exception text
+    (or the free-form message for ``"info"`` events).
+    """
+
+    label: str
+    status: str
+    seconds: Optional[float] = None
+    attempts: int = 0
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("ok", "failed", "timeout")
+
+    def __str__(self) -> str:
+        if self.status == "info":
+            return self.error or self.label
+        if self.status == "start":
+            return self.label
+        tail = f" {self.seconds:.2f}s" if self.seconds is not None else ""
+        if self.status == "ok":
+            return f"{self.label} [ok{tail}]"
+        if self.status == "retry":
+            return f"{self.label} [retry {self.attempts} after {self.error}]"
+        return f"{self.label} [{self.status}: {self.error}]"
 
 
 @dataclass
@@ -356,7 +399,7 @@ def execute_cells(
     policy: Optional[RetryPolicy] = None,
     cell_timeout: Optional[float] = None,
     checkpoint: Optional[Union[str, os.PathLike]] = None,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Optional[Callable[[CellProgress], None]] = None,
     max_pool_rebuilds: int = 3,
     poll_interval: float = 0.05,
 ) -> List[CellOutcome]:
@@ -373,10 +416,12 @@ def execute_cells(
     *not* re-run, and every cell reaching a terminal state is journaled
     the moment its future finishes.
 
-    ``progress`` is called with the plain cell label when a cell
-    completes (parallel) or is about to run (serial), and with an
-    annotated ``"label [retry N after Exc]"`` / ``"label [failed: Exc]"``
-    form on retries and terminal failures.
+    ``progress`` receives structured :class:`CellProgress` events: a
+    ``"start"`` event when a cell is first attempted, a terminal
+    ``"ok"`` / ``"failed"`` / ``"timeout"`` event carrying the measured
+    wall seconds and attempt count, ``"retry"`` events in between, and
+    ``"info"`` events for executor-level announcements.  ``str(event)``
+    renders the human-readable line.
     """
     n = len(cells)
     if len(labels) != n:
@@ -408,30 +453,59 @@ def execute_cells(
         if journal is not None:
             journal.append(outcome, codec)
 
-    def finish_ok(idx: int, records: List[Any], announce: bool) -> None:
+    def finish_ok(
+        idx: int,
+        records: List[Any],
+        announce: bool,
+        seconds: Optional[float] = None,
+    ) -> None:
         codec.stamp(records, "ok", attempts[idx], "")
         finish(CellOutcome(idx, labels[idx], "ok", attempts[idx], records))
         if progress and announce:
-            progress(labels[idx])
+            progress(
+                CellProgress(
+                    labels[idx], "ok", seconds=seconds, attempts=attempts[idx]
+                )
+            )
 
-    def handle_cell_error(idx: int, exc: BaseException) -> None:
+    def handle_cell_error(
+        idx: int, exc: BaseException, seconds: Optional[float] = None
+    ) -> None:
         """Schedule a retry, or record the structured failure."""
         kind = classify_error(exc)
         err = _error_text(exc)
+        if kind == "timeout":
+            obs.counter("harness.timeouts").inc()
         if attempts[idx] <= policy.retries_for(kind):
             not_before[idx] = time.monotonic() + policy.backoff(idx, attempts[idx])
             pending.append(idx)
+            obs.counter("harness.retries").inc()
             if progress:
                 progress(
-                    f"{labels[idx]} [retry {attempts[idx]} after {type(exc).__name__}]"
+                    CellProgress(
+                        labels[idx],
+                        "retry",
+                        seconds=seconds,
+                        attempts=attempts[idx],
+                        error=type(exc).__name__,
+                    )
                 )
             return
         status = "timeout" if kind == "timeout" else "failed"
+        obs.counter("harness.failures").inc()
         records = codec.failure(cells[idx], status, err, attempts[idx])
         codec.stamp(records, status, attempts[idx], err)
         finish(CellOutcome(idx, labels[idx], status, attempts[idx], records, err))
         if progress:
-            progress(f"{labels[idx]} [{status}: {type(exc).__name__}]")
+            progress(
+                CellProgress(
+                    labels[idx],
+                    status,
+                    seconds=seconds,
+                    attempts=attempts[idx],
+                    error=err,
+                )
+            )
 
     def run_serial(enforce_backoff: bool = True) -> None:
         """In-process execution of everything still pending (timeouts
@@ -445,13 +519,14 @@ def execute_cells(
                     time.sleep(delay)
             attempts[idx] += 1
             if progress and attempts[idx] == 1:
-                progress(labels[idx])
+                progress(CellProgress(labels[idx], "start", attempts=1))
+            t0 = time.monotonic()
             try:
                 records = run_one(cells[idx])
             except Exception as exc:
-                handle_cell_error(idx, exc)
+                handle_cell_error(idx, exc, seconds=time.monotonic() - t0)
             else:
-                finish_ok(idx, records, announce=False)
+                finish_ok(idx, records, True, seconds=time.monotonic() - t0)
 
     try:
         if workers <= 1 or pool_factory is None:
@@ -496,10 +571,10 @@ def _run_parallel(
     not_before: Dict[int, float],
     attempts: List[int],
     outcomes: List[Optional[CellOutcome]],
-    finish_ok: Callable[[int, List[Any], bool], None],
-    handle_cell_error: Callable[[int, BaseException], None],
+    finish_ok: Callable[..., None],
+    handle_cell_error: Callable[..., None],
     run_serial: Callable[[], None],
-    progress: Optional[Callable[[str], None]],
+    progress: Optional[Callable[[CellProgress], None]],
     max_pool_rebuilds: int,
     poll_interval: float,
 ) -> None:
@@ -513,6 +588,7 @@ def _run_parallel(
     """
     in_flight: Dict[Future, int] = {}
     deadlines: Dict[Future, float] = {}
+    started: Dict[Future, float] = {}
     pool: Optional[ProcessPoolExecutor] = None
     rebuilds = 0
 
@@ -523,6 +599,7 @@ def _run_parallel(
             pending.append(idx)
         in_flight.clear()
         deadlines.clear()
+        started.clear()
 
     def pop_ready(now: float) -> Optional[int]:
         pending.sort()
@@ -551,13 +628,17 @@ def _run_parallel(
                     broke = True
                     break
                 in_flight[fut] = idx
+                started[fut] = time.monotonic()
                 if timeout > 0:
                     deadlines[fut] = time.monotonic() + timeout
+                if progress and attempts[idx] == 1:
+                    progress(CellProgress(labels[idx], "start", attempts=1))
             if broke:
                 requeue_in_flight()
                 _stop_pool(pool, kill=False)
                 pool = None
                 rebuilds += 1
+                obs.counter("harness.pool_rebuilds").inc()
                 if rebuilds > max_pool_rebuilds:
                     break
                 continue
@@ -579,6 +660,10 @@ def _run_parallel(
             for fut in done:
                 idx = in_flight.pop(fut)
                 deadlines.pop(fut, None)
+                t_start = started.pop(fut, None)
+                elapsed = (
+                    None if t_start is None else time.monotonic() - t_start
+                )
                 try:
                     records = fut.result()
                 except BrokenExecutor:
@@ -588,14 +673,15 @@ def _run_parallel(
                     pending.append(idx)
                     broke = True
                 except Exception as exc:
-                    handle_cell_error(idx, exc)
+                    handle_cell_error(idx, exc, seconds=elapsed)
                 else:
-                    finish_ok(idx, records, True)
+                    finish_ok(idx, records, True, seconds=elapsed)
             if broke:
                 requeue_in_flight()
                 _stop_pool(pool, kill=False)
                 pool = None
                 rebuilds += 1
+                obs.counter("harness.pool_rebuilds").inc()
                 if rebuilds > max_pool_rebuilds:
                     break
                 continue
@@ -605,6 +691,7 @@ def _run_parallel(
             if overdue:
                 for fut in overdue:
                     idx = in_flight.pop(fut)
+                    t_start = started.pop(fut, None)
                     deadlines.pop(fut, None)
                     handle_cell_error(
                         idx,
@@ -612,10 +699,14 @@ def _run_parallel(
                             f"cell {labels[idx]!r} exceeded the "
                             f"{timeout:g}s wall-clock budget"
                         ),
+                        seconds=(
+                            None if t_start is None else now - t_start
+                        ),
                     )
                 requeue_in_flight()
                 _stop_pool(pool, kill=True)
                 pool = None
+                obs.counter("harness.pool_rebuilds").inc()
                 # a deliberate watchdog kill is not pool *failure*; it
                 # does not count toward the degradation limit
     finally:
@@ -623,7 +714,14 @@ def _run_parallel(
     if pending:
         if progress:
             progress(
-                f"[resilience] pool broke {rebuilds}x; degrading to serial "
-                f"in-process execution for {len(pending)} remaining cells"
+                CellProgress(
+                    "",
+                    "info",
+                    error=(
+                        f"[resilience] pool broke {rebuilds}x; degrading to "
+                        f"serial in-process execution for "
+                        f"{len(pending)} remaining cells"
+                    ),
+                )
             )
         run_serial()

@@ -56,8 +56,9 @@ from ..smo import (
     SMOResult,
     init_theta_source,
 )
+from .. import obs
 from ..utils.faultinject import fault_point
-from .resilience import RecordCodec, RetryPolicy, execute_cells
+from .resilience import CellProgress, RecordCodec, RetryPolicy, execute_cells
 
 __all__ = [
     "RunRecord",
@@ -415,9 +416,10 @@ def _run_cell(cell: _Cell, settings: RunSettings) -> List[RunRecord]:
     """Execute one sweep cell (also the process-pool task body)."""
     fault_point("harness.run_cell")
     kind, method, ds_name, payload = cell
-    if kind == "joint":
-        return run_joint(method, list(payload), settings, ds_name)
-    return [run_clip(method, payload, settings, ds_name)]
+    with obs.cell_scope(_cell_label(cell)):
+        if kind == "joint":
+            return run_joint(method, list(payload), settings, ds_name)
+        return [run_clip(method, payload, settings, ds_name)]
 
 
 def _cell_clip_names(cell: _Cell) -> List[str]:
@@ -476,6 +478,7 @@ def _worker_warmup(
     config: OpticalConfig,
     worker_budget: Optional[int] = None,
     process_window: Optional[ProcessWindow] = None,
+    obs_config: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Process-pool initializer: pre-build the shared optics cache and
     hand each worker its share of the unified thread budget.
@@ -492,9 +495,18 @@ def _worker_warmup(
     fault_point("harness.worker_warmup")
     from ..optics import cache, fftlib
 
+    if obs_config is not None:
+        # The parent's tracing/metrics switches don't survive the fork/
+        # spawn boundary as module state; re-apply them so every worker
+        # writes its own telemetry shard for the parent to merge.
+        obs.apply_config(obs_config)
     if worker_budget is not None:
         fftlib.set_worker_budget(worker_budget)
     cache.warmup(config, process_window=process_window)
+    # Park the warmup spans in a dedicated shard record; otherwise they
+    # would be swept into this worker's first cell and break the
+    # worker-count-invariant canonical trace.
+    obs.flush_shard()
 
 
 def _matrix_cells(
@@ -521,7 +533,7 @@ def run_matrix(
     settings: RunSettings,
     methods: Sequence[str] = METHOD_ORDER,
     clips_per_dataset: Optional[int] = None,
-    progress: Optional[Callable[[str], None]] = None,
+    progress: Optional[Callable[[CellProgress], None]] = None,
     workers: int = 1,
     joint: bool = False,
     checkpoint: Optional[Union[str, os.PathLike]] = None,
@@ -564,6 +576,12 @@ def run_matrix(
 
     A serial sweep with none of the resilience arguments set keeps the
     legacy contract: the first cell exception propagates.
+
+    ``progress`` receives structured
+    :class:`~repro.harness.resilience.CellProgress` events — a
+    ``"start"`` when a cell begins and a terminal event carrying the
+    measured wall seconds and attempt count when it ends (``str(event)``
+    renders the printable line).
     """
     cells = _matrix_cells(datasets, methods, clips_per_dataset, joint)
     resilient = (
@@ -575,9 +593,18 @@ def run_matrix(
     if not resilient:
         records: List[RunRecord] = []
         for cell in cells:
+            label = _cell_label(cell)
             if progress:
-                progress(_cell_label(cell))
-            records.extend(_run_cell(cell, settings))
+                progress(CellProgress(label, "start", attempts=1))
+            t0 = time.monotonic()
+            cell_records = _run_cell(cell, settings)
+            if progress:
+                progress(
+                    CellProgress(
+                        label, "ok", seconds=time.monotonic() - t0, attempts=1
+                    )
+                )
+            records.extend(cell_records)
         return records
 
     worker_budget = max(1, (os.cpu_count() or 1) // max(1, workers))
@@ -586,7 +613,12 @@ def run_matrix(
         return ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_warmup,
-            initargs=(settings.config, worker_budget, settings.process_window),
+            initargs=(
+                settings.config,
+                worker_budget,
+                settings.process_window,
+                obs.export_config(),
+            ),
         )
 
     policy = None if max_retries is None else RetryPolicy(max_retries=max_retries)

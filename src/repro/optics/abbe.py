@@ -37,6 +37,7 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import functional as F
+from ..obs import span as obs_span
 from .config import OpticalConfig
 from .engine import MaskLike, as_tile_batch, incoherent_sum_fast
 from .source import SourceGrid
@@ -303,14 +304,19 @@ class AbbeImaging:
         j = src[self._valid_index]
         norm = float(j.sum()) + _EPS
         stacks_pairs = self.condition_stacks(conditions)
-        out = np.stack(
-            fftlib.map_conditions(
-                lambda fi: incoherent_sum_fast(
+
+        def _one_condition(fi: int) -> np.ndarray:
+            with obs_span("engine.condition", index=fi):
+                return incoherent_sum_fast(
                     tiles, stacks_pairs[fi][0].data, j, norm
-                ),
-                len(stacks_pairs),
+                )
+
+        with obs_span(
+            "engine.conditions", engine="abbe", n=len(stacks_pairs)
+        ):
+            out = np.stack(
+                fftlib.map_conditions(_one_condition, len(stacks_pairs))
             )
-        )
         return out[:, 0] if single else out
 
     def source_intensity_basis(

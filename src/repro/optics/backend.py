@@ -81,6 +81,7 @@ __all__ = [
     "use_backend",
     "env_default_backend",
     "describe",
+    "counters_snapshot",
 ]
 
 #: Backend-native array handle: ``np.ndarray`` for numpy/strict,
@@ -721,6 +722,19 @@ def env_default_backend() -> str:
 def describe() -> Dict[str, Any]:
     """Environment fingerprint of the active backend."""
     return active_backend().describe()
+
+
+def counters_snapshot() -> Optional[Dict[str, int]]:
+    """Copy of the active backend's transfer/FFT counters, if it keeps any.
+
+    Only the instrumented ``strict`` backend counts today; the telemetry
+    snapshot in :mod:`repro.obs.metrics` reads through this seam so any
+    future counting backend is picked up without obs changes.
+    """
+    counters = getattr(active_backend(), "counters", None)
+    if isinstance(counters, dict):
+        return dict(counters)
+    return None
 
 
 #: Host-side numpy backend singleton.  Hot-path modules use it for

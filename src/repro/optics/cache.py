@@ -351,25 +351,27 @@ def warmup(
     :func:`repro.optics.fftlib.map_conditions` pool (the single-flight
     ``_lookup`` guarantees each stack is still built exactly once).
     """
+    from ..obs import span
     from ..utils.faultinject import fault_point
 
     fault_point("cache.warmup")
-    freq_axes(config)
-    freq_grid(config)
-    source_grid(config)
-    pupil_stack(config, defocus_nm)
-    conj_pairs(config, defocus_nm)
-    abbe_engine(config, defocus_nm)
-    if process_window is not None:
-        from . import fftlib
+    with span("harness.warmup", mask_size=config.mask_size):
+        freq_axes(config)
+        freq_grid(config)
+        source_grid(config)
+        pupil_stack(config, defocus_nm)
+        conj_pairs(config, defocus_nm)
+        abbe_engine(config, defocus_nm)
+        if process_window is not None:
+            from . import fftlib
 
-        conditions = list(process_window.conditions())
+            conditions = list(process_window.conditions())
 
-        def _build_condition(fi: int) -> None:
-            pupil_stack(config, conditions[fi])
-            conj_pairs(config, conditions[fi])
+            def _build_condition(fi: int) -> None:
+                pupil_stack(config, conditions[fi])
+                conj_pairs(config, conditions[fi])
 
-        fftlib.map_conditions(_build_condition, len(conditions))
+            fftlib.map_conditions(_build_condition, len(conditions))
 
 
 # ----------------------------------------------------------------------

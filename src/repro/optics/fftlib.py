@@ -51,6 +51,7 @@ autodiff layer can depend on it without import cycles.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -423,7 +424,14 @@ def map_conditions(fn: Callable[[int], object], num_tasks: int) -> list:
             _TLS.in_condition_pool = False
 
     pool = _condition_pool()
-    futures = [pool.submit(run_group, g) for g in _partition(num_tasks, w)]
+    # Pool threads outlive any one fan-out, so contextvars (notably the
+    # repro.obs span parent chain) do not flow into them by default.
+    # Each group runs inside a fresh copy of the caller's context — one
+    # copy per group, because a Context can only host one concurrent run.
+    futures = [
+        pool.submit(contextvars.copy_context().run, run_group, g)
+        for g in _partition(num_tasks, w)
+    ]
     results: list = [None] * num_tasks
     for future in futures:
         for i, value in future.result():

@@ -25,6 +25,7 @@ import scipy.sparse.linalg
 
 from .. import autodiff as ad
 from ..autodiff import functional as F
+from ..obs import span as obs_span
 from .config import OpticalConfig
 from .engine import (
     CONDITION_MEMO_MAX,
@@ -330,14 +331,17 @@ class HopkinsImaging:
             )
         tiles, single = as_tile_batch(mask, self.config.mask_size)
         kernels = self.condition_kernels(conditions)
-        out = np.stack(
-            fftlib.map_conditions(
-                lambda fi: incoherent_sum_fast(
+
+        def _one_condition(fi: int) -> np.ndarray:
+            with obs_span("engine.condition", index=fi):
+                return incoherent_sum_fast(
                     tiles, kernels[fi].data, self.weights, 1.0
-                ),
-                len(kernels),
+                )
+
+        with obs_span("engine.conditions", engine="hopkins", n=len(kernels)):
+            out = np.stack(
+                fftlib.map_conditions(_one_condition, len(kernels))
             )
-        )
         return out[:, 0] if single else out
 
     @property

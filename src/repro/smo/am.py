@@ -20,6 +20,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from .. import autodiff as ad
+from ..obs import observe_iteration
+from ..obs import span as obs_span
 from ..opt import make_optimizer
 from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow
@@ -152,12 +154,15 @@ class AMSMO:
             tm_fixed = ad.Tensor(theta_m)
             for _ in range(self.so_steps):
                 t0 = tick()
-                tj = ad.Tensor(theta_j, requires_grad=True)
-                loss = self.objective.loss(tj, tm_fixed)
-                (gj,) = ad.grad(loss, [tj])
-                tiles = self._stashed_tile_losses()
-                theta_j = opt_j.step(theta_j, gj.data)
-                corner_w = adaptive_corner_update(self.objective)
+                with obs_span(
+                    "solver.iter", solver=self.method_name, iteration=step
+                ):
+                    tj = ad.Tensor(theta_j, requires_grad=True)
+                    loss = self.objective.loss(tj, tm_fixed)
+                    (gj,) = ad.grad(loss, [tj])
+                    tiles = self._stashed_tile_losses()
+                    theta_j = opt_j.step(theta_j, gj.data)
+                    corner_w = adaptive_corner_update(self.objective)
                 rec = IterationRecord(
                     step,
                     float(loss.data),
@@ -166,6 +171,7 @@ class AMSMO:
                     tile_losses=tiles,
                     corner_weights=corner_w,
                 )
+                observe_iteration(rec, grad=gj)
                 history.append(rec)
                 step += 1
                 if callback and callback(rec):
@@ -196,12 +202,15 @@ class AMSMO:
                 tcc_seconds += tick() - t0
                 for _ in range(self.mo_steps):
                     t0 = tick()
-                    tm = ad.Tensor(theta_m, requires_grad=True)
-                    loss = hop.loss(tm)
-                    (gm,) = ad.grad(loss, [tm])
-                    tiles = hop.last_tile_losses
-                    theta_m = opt_m.step(theta_m, gm.data)
-                    corner_w = adaptive_corner_update(hop)
+                    with obs_span(
+                        "solver.iter", solver=self.method_name, iteration=step
+                    ):
+                        tm = ad.Tensor(theta_m, requires_grad=True)
+                        loss = hop.loss(tm)
+                        (gm,) = ad.grad(loss, [tm])
+                        tiles = hop.last_tile_losses
+                        theta_m = opt_m.step(theta_m, gm.data)
+                        corner_w = adaptive_corner_update(hop)
                     rec = IterationRecord(
                         step,
                         float(loss.data),
@@ -210,6 +219,7 @@ class AMSMO:
                         tile_losses=tiles,
                         corner_weights=corner_w,
                     )
+                    observe_iteration(rec, grad=gm)
                     history.append(rec)
                     step += 1
                     if callback and callback(rec):
@@ -219,12 +229,15 @@ class AMSMO:
                 tj_fixed = ad.Tensor(theta_j)
                 for _ in range(self.mo_steps):
                     t0 = tick()
-                    tm = ad.Tensor(theta_m, requires_grad=True)
-                    loss = self.objective.loss(tj_fixed, tm)
-                    (gm,) = ad.grad(loss, [tm])
-                    tiles = self._stashed_tile_losses()
-                    theta_m = opt_m.step(theta_m, gm.data)
-                    corner_w = adaptive_corner_update(self.objective)
+                    with obs_span(
+                        "solver.iter", solver=self.method_name, iteration=step
+                    ):
+                        tm = ad.Tensor(theta_m, requires_grad=True)
+                        loss = self.objective.loss(tj_fixed, tm)
+                        (gm,) = ad.grad(loss, [tm])
+                        tiles = self._stashed_tile_losses()
+                        theta_m = opt_m.step(theta_m, gm.data)
+                        corner_w = adaptive_corner_update(self.objective)
                     rec = IterationRecord(
                         step,
                         float(loss.data),
@@ -233,6 +246,7 @@ class AMSMO:
                         tile_losses=tiles,
                         corner_weights=corner_w,
                     )
+                    observe_iteration(rec, grad=gm)
                     history.append(rec)
                     step += 1
                     if callback and callback(rec):

@@ -37,6 +37,8 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..autodiff import functional as F
+from ..obs import observe_iteration
+from ..obs import span as obs_span
 from ..opt import make_optimizer
 from ..optics import OpticalConfig, ProcessWindow
 from ..utils.timing import tick
@@ -313,17 +315,20 @@ class BiSMO:
                 # inner loop (the memory-heavy reference strategy).
                 from .unroll import unrolled_hypergradient
 
-                hyper, theta_j, loss_value = unrolled_hypergradient(
-                    self.objective,
-                    theta_j,
-                    theta_m,
-                    steps=self.unroll_steps,
-                    inner_lr=self.inner_lr,
-                    inner_optimizer=self.inner_optimizer,
-                )
-                tile_losses = self._stashed_tile_losses()
-                theta_m = outer_opt.step(theta_m, hyper)
-                corner_w = adaptive_corner_update(self.objective)
+                with obs_span(
+                    "solver.iter", solver=self.method_name, iteration=it
+                ):
+                    hyper, theta_j, loss_value = unrolled_hypergradient(
+                        self.objective,
+                        theta_j,
+                        theta_m,
+                        steps=self.unroll_steps,
+                        inner_lr=self.inner_lr,
+                        inner_optimizer=self.inner_optimizer,
+                    )
+                    tile_losses = self._stashed_tile_losses()
+                    theta_m = outer_opt.step(theta_m, hyper)
+                    corner_w = adaptive_corner_update(self.objective)
                 rec = IterationRecord(
                     it,
                     loss_value,
@@ -332,52 +337,61 @@ class BiSMO:
                     tile_losses=tile_losses,
                     corner_weights=corner_w,
                 )
+                observe_iteration(rec, grad=hyper)
                 history.append(rec)
                 if callback and callback(rec):
                     break
                 continue
-            # ---- Alg. 2 line 2: unroll T inner SO steps ---------------
-            # theta_M is fixed for the whole outer iteration, so a
-            # batched objective's FFT-free source-only closure (one
-            # intensity basis, shared with the HVP oracle below) carries
-            # every inner step and Hessian product of this iteration.
-            so_factory = getattr(self.objective, "source_only_loss", None)
-            so_loss = so_factory(theta_m) if so_factory is not None else None
-            if so_loss is not None:
-                for _ in range(self.unroll_steps):
-                    tj = ad.Tensor(theta_j, requires_grad=True)
-                    (gj,) = ad.grad(so_loss(tj), [tj])
-                    theta_j = inner_opt.step(theta_j, gj.data)
-            else:
-                tm_fixed = ad.Tensor(theta_m)
-                for _ in range(self.unroll_steps):
-                    tj = ad.Tensor(theta_j, requires_grad=True)
-                    loss_so = self.objective.loss(tj, tm_fixed)
-                    (gj,) = ad.grad(loss_so, [tj])
-                    theta_j = inner_opt.step(theta_j, gj.data)
-            # ---- Alg. 2 lines 5-12: hypergradient ---------------------
-            ctx = HypergradientContext(
-                self.objective,
-                theta_j,
-                theta_m,
-                hvp_mode=self.hvp_mode,
-                so_loss_fn=so_loss,
-            )
-            # Capture per-tile losses and the corner matrix now: they
-            # belong to ctx's loss evaluation, and FD-mode
-            # hypergradients re-evaluate the objective at perturbed
-            # points below (clobbering the stashed diagnostics).
-            tile_losses = self._stashed_tile_losses()
-            corner_matrix = getattr(self.objective, "last_corner_losses", None)
-            hyper, warm = self._hyper_fn(
-                ctx, self.inner_lr, self.terms, self.damping, warm
-            )
-            # ---- Alg. 2 line 13: outer MO step ------------------------
-            theta_m = outer_opt.step(theta_m, hyper)
-            # Minimax ascent on the corner weights (robust="adaptive"):
-            # one EG step per outer iteration, from the corner losses of
-            # ctx's evaluation at the pre-step parameters.
-            corner_w = adaptive_corner_update(self.objective, corner_matrix)
+            with obs_span(
+                "solver.iter", solver=self.method_name, iteration=it
+            ):
+                # ---- Alg. 2 line 2: unroll T inner SO steps -----------
+                # theta_M is fixed for the whole outer iteration, so a
+                # batched objective's FFT-free source-only closure (one
+                # intensity basis, shared with the HVP oracle below)
+                # carries every inner step and Hessian product of this
+                # iteration.
+                so_factory = getattr(self.objective, "source_only_loss", None)
+                so_loss = (
+                    so_factory(theta_m) if so_factory is not None else None
+                )
+                if so_loss is not None:
+                    for _ in range(self.unroll_steps):
+                        tj = ad.Tensor(theta_j, requires_grad=True)
+                        (gj,) = ad.grad(so_loss(tj), [tj])
+                        theta_j = inner_opt.step(theta_j, gj.data)
+                else:
+                    tm_fixed = ad.Tensor(theta_m)
+                    for _ in range(self.unroll_steps):
+                        tj = ad.Tensor(theta_j, requires_grad=True)
+                        loss_so = self.objective.loss(tj, tm_fixed)
+                        (gj,) = ad.grad(loss_so, [tj])
+                        theta_j = inner_opt.step(theta_j, gj.data)
+                # ---- Alg. 2 lines 5-12: hypergradient -----------------
+                ctx = HypergradientContext(
+                    self.objective,
+                    theta_j,
+                    theta_m,
+                    hvp_mode=self.hvp_mode,
+                    so_loss_fn=so_loss,
+                )
+                # Capture per-tile losses and the corner matrix now: they
+                # belong to ctx's loss evaluation, and FD-mode
+                # hypergradients re-evaluate the objective at perturbed
+                # points below (clobbering the stashed diagnostics).
+                tile_losses = self._stashed_tile_losses()
+                corner_matrix = getattr(
+                    self.objective, "last_corner_losses", None
+                )
+                hyper, warm = self._hyper_fn(
+                    ctx, self.inner_lr, self.terms, self.damping, warm
+                )
+                # ---- Alg. 2 line 13: outer MO step --------------------
+                theta_m = outer_opt.step(theta_m, hyper)
+                # Minimax ascent on the corner weights (robust="adaptive"):
+                # one EG step per outer iteration, from the corner losses
+                # of ctx's evaluation at the pre-step parameters.
+                corner_w = adaptive_corner_update(self.objective, corner_matrix)
             rec = IterationRecord(
                 it,
                 ctx.loss_value,
@@ -386,6 +400,7 @@ class BiSMO:
                 tile_losses=tile_losses,
                 corner_weights=corner_w,
             )
+            observe_iteration(rec, grad=hyper)
             history.append(rec)
             if callback and callback(rec):
                 break

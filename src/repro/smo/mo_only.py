@@ -21,6 +21,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from .. import autodiff as ad
+from ..obs import observe_iteration
+from ..obs import span as obs_span
 from ..opt import make_optimizer
 from ..utils.timing import tick
 from ..optics import OpticalConfig, ProcessWindow
@@ -102,12 +104,15 @@ class AbbeMO:
         start = tick()
         for it in range(iterations):
             t0 = tick()
-            tm = ad.Tensor(theta_m, requires_grad=True)
-            loss = self.objective.loss(self._theta_j_fixed, tm)
-            (gm,) = ad.grad(loss, [tm])
-            tiles = getattr(self.objective, "last_tile_losses", None)
-            theta_m = self._opt.step(theta_m, gm.data)
-            corner_w = adaptive_corner_update(self.objective)
+            with obs_span(
+                "solver.iter", solver=self.method_name, iteration=it
+            ):
+                tm = ad.Tensor(theta_m, requires_grad=True)
+                loss = self.objective.loss(self._theta_j_fixed, tm)
+                (gm,) = ad.grad(loss, [tm])
+                tiles = getattr(self.objective, "last_tile_losses", None)
+                theta_m = self._opt.step(theta_m, gm.data)
+                corner_w = adaptive_corner_update(self.objective)
             rec = IterationRecord(
                 it,
                 float(loss.data),
@@ -116,6 +121,7 @@ class AbbeMO:
                 tile_losses=tiles,
                 corner_weights=corner_w,
             )
+            observe_iteration(rec, grad=gm)
             history.append(rec)
             if callback and callback(rec):
                 break
@@ -178,12 +184,15 @@ class HopkinsMO:
         start = tick()
         for it in range(iterations):
             t0 = tick()
-            tm = ad.Tensor(theta_m, requires_grad=True)
-            loss = self.objective.loss(tm)
-            (gm,) = ad.grad(loss, [tm])
-            tiles = self.objective.last_tile_losses
-            theta_m = self._opt.step(theta_m, gm.data)
-            corner_w = adaptive_corner_update(self.objective)
+            with obs_span(
+                "solver.iter", solver=self.method_name, iteration=it
+            ):
+                tm = ad.Tensor(theta_m, requires_grad=True)
+                loss = self.objective.loss(tm)
+                (gm,) = ad.grad(loss, [tm])
+                tiles = self.objective.last_tile_losses
+                theta_m = self._opt.step(theta_m, gm.data)
+                corner_w = adaptive_corner_update(self.objective)
             rec = IterationRecord(
                 it,
                 float(loss.data),
@@ -192,6 +201,7 @@ class HopkinsMO:
                 tile_losses=tiles,
                 corner_weights=corner_w,
             )
+            observe_iteration(rec, grad=gm)
             history.append(rec)
             if callback and callback(rec):
                 break

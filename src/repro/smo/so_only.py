@@ -12,6 +12,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from .. import autodiff as ad
+from ..obs import observe_iteration
+from ..obs import span as obs_span
 from ..opt import make_optimizer
 from ..utils.timing import tick
 from ..optics import OpticalConfig
@@ -64,11 +66,14 @@ class SourceOptimizer:
         start = tick()
         for it in range(iterations):
             t0 = tick()
-            tj = ad.Tensor(theta_j, requires_grad=True)
-            loss = self.objective.loss(tj, tm_fixed)
-            (gj,) = ad.grad(loss, [tj])
-            tiles = getattr(self.objective, "last_tile_losses", None)
-            theta_j = self._opt.step(theta_j, gj.data)
+            with obs_span(
+                "solver.iter", solver=self.method_name, iteration=it
+            ):
+                tj = ad.Tensor(theta_j, requires_grad=True)
+                loss = self.objective.loss(tj, tm_fixed)
+                (gj,) = ad.grad(loss, [tj])
+                tiles = getattr(self.objective, "last_tile_losses", None)
+                theta_j = self._opt.step(theta_j, gj.data)
             rec = IterationRecord(
                 it,
                 float(loss.data),
@@ -76,6 +81,7 @@ class SourceOptimizer:
                 "so",
                 tile_losses=tiles,
             )
+            observe_iteration(rec, grad=gj)
             history.append(rec)
             if callback and callback(rec):
                 break

@@ -1,0 +1,22 @@
+"""R10 fixture (violations): obs names that bypass the registry.
+
+Linted as module ``repro.smo.obs_fixture``: an undeclared span name, an
+undeclared metric name, a kind mismatch (a declared gauge incremented
+as a counter), a non-literal span name the linter cannot check, and the
+same violations reached through relative imports all flag.
+"""
+
+from repro import obs
+from repro.obs import span as obs_span
+from ..obs import counter as rel_counter
+
+__all__ = ["work"]
+
+
+def work(label):
+    with obs_span("solver.bogus_phase"):  # undeclared span
+        obs.counter("made.up_total").inc()  # undeclared metric
+        obs.counter("solver.loss").inc()  # declared as a gauge
+        rel_counter("imaging.bogus_chunks").inc()  # undeclared via relative import
+    with obs.span(label):  # non-literal name: statically uncheckable
+        return None

@@ -1,6 +1,6 @@
 """Per-rule fixture tests for the reprolint engine.
 
-Each rule R1-R8 has a good and a bad fixture under
+Each rule R1-R10 has a good and a bad fixture under
 ``tests/analysis_fixtures/``; the bad fixture must produce at least the
 expected number of findings for *its* rule and the good fixture none.
 Fixtures are linted via :func:`repro.analysis.lint_source` with a
@@ -27,6 +27,7 @@ CASES = {
     "R7": ("repro.smo.guard_fixture", 1),
     "R8": ("repro.utils.api_fixture", 2),
     "R9": ("repro.autodiff.stream_fixture", 5),
+    "R10": ("repro.smo.obs_fixture", 5),
 }
 
 #: good fixtures that legitimately lint under a different module name
@@ -104,6 +105,50 @@ def test_r5_wall_clock_allowed_in_harness():
     assert harness.findings == []
     script = lint_source(source, module_name="benchmarks.bench_foo", select=["R5"])
     assert script.findings == []
+
+
+def test_r5_wall_clock_allowed_in_obs():
+    # repro.obs is the second sanctioned wall-clock consumer (its spans
+    # time arbitrary scopes through utils.timing.tick)
+    source = "import time\n\n\ndef stamp():\n    return time.perf_counter()\n"
+    obs = lint_source(source, module_name="repro.obs.trace", select=["R5"])
+    assert obs.findings == []
+
+
+def test_r10_obs_package_itself_is_exempt():
+    source = (FIXTURES / "r10_bad.py").read_text(encoding="utf-8")
+    for module_name in ("repro.obs", "repro.obs.export"):
+        report = lint_source(source, module_name=module_name, select=["R10"])
+        assert report.findings == []
+
+
+def test_r10_resolves_relative_obs_imports():
+    # the library's call sites bind obs relatively; a bare absolute-only
+    # alias map would silently skip them
+    source = (
+        '"""x."""\n'
+        "from ..obs import span as obs_span\n\n"
+        "__all__ = []\n\n\n"
+        "def f():\n"
+        '    with obs_span("solver.bogus"):\n'
+        "        return None\n"
+    )
+    report = lint_source(source, module_name="repro.smo.fixture", select=["R10"])
+    assert len(report.findings) == 1
+    assert "solver.bogus" in report.findings[0].message
+
+
+def test_r10_kind_mismatch_names_the_declared_kind():
+    source = (
+        '"""x."""\n'
+        "from repro import obs\n\n"
+        "__all__ = []\n\n\n"
+        "def f():\n"
+        '    obs.counter("solver.loss").inc()\n'
+    )
+    report = lint_source(source, module_name="repro.smo.fixture", select=["R10"])
+    assert len(report.findings) == 1
+    assert "declared as a gauge" in report.findings[0].message
 
 
 def test_r6_pools_allowed_in_fftlib():

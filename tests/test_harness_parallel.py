@@ -78,7 +78,20 @@ class TestParallelSweep:
         ds = _tiny_dataset(1)
         seen = []
         run_matrix([ds], _settings(), methods=METHODS[:2], progress=seen.append)
-        assert seen == ["TINY/c0/NILT", "TINY/c0/Abbe-MO"]
+        assert [(e.label, e.status) for e in seen] == [
+            ("TINY/c0/NILT", "start"),
+            ("TINY/c0/NILT", "ok"),
+            ("TINY/c0/Abbe-MO", "start"),
+            ("TINY/c0/Abbe-MO", "ok"),
+        ]
+        # terminal events carry the measured wall clock and attempt count
+        for e in seen:
+            if e.status == "ok":
+                assert e.seconds is not None and e.seconds >= 0
+                assert e.attempts == 1
+        # string rendering keeps the CLI's printable form
+        assert str(seen[0]) == "TINY/c0/NILT"
+        assert str(seen[1]).startswith("TINY/c0/NILT [ok ")
 
 
 class TestJointMode:

@@ -432,7 +432,8 @@ class TestRunMatrixResilience:
             max_retries=0, progress=seen.append,
         )
         _assert_records_identical(baseline, resumed)
-        assert len(seen) == 2  # only the 2 un-journaled cells re-ran
+        # only the 2 un-journaled cells re-ran (one start event each)
+        assert len([e for e in seen if e.status == "start"]) == 2
 
     @pytest.mark.fault_injection
     def test_worker_death_recovers_bitwise(self, tmp_path, monkeypatch):
@@ -512,7 +513,7 @@ class TestTimeoutsAndDegradation:
         assert [o.status for o in outcomes] == ["ok"] * 3
         # pool-breakage victims are not charged attempts
         assert [o.attempts for o in outcomes] == [1, 1, 1]
-        assert any("degrading to serial" in m for m in messages)
+        assert any("degrading to serial" in str(m) for m in messages)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,281 @@
+"""Tests for the ``repro.obs`` observability layer.
+
+Covers the four contracts the layer advertises: registry-governed
+names fail fast, disabled hooks are near-free (<2% of the
+fused-imaging microbench), span nesting is correct across the
+``fftlib.map_conditions`` thread fan-out, and the Chrome trace-event
+export is schema-valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro import obs
+from repro.autodiff import functional as F
+from repro.optics import fftlib
+
+S, N = 6, 16
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with obs disabled and empty."""
+    obs.disable()
+    obs.reset_metrics()
+    obs.drain_events()
+    yield
+    obs.disable()
+    obs.reset_metrics()
+    obs.drain_events()
+
+
+def _imaging_pass(kernels: np.ndarray, weights: np.ndarray, mask: np.ndarray):
+    mt = ad.Tensor(mask, requires_grad=True)
+    loss = F.sum(F.incoherent_image(mt, kernels, weights))
+    (gm,) = ad.grad(loss, [mt])
+    return loss.data, gm
+
+
+class TestRegistryGoverned:
+    def test_undeclared_span_name_raises(self):
+        with obs.use(trace=True):
+            with pytest.raises(ValueError, match="not declared"):
+                obs.span("solver.bogus_phase")
+
+    def test_undeclared_metric_name_raises(self):
+        with obs.use(metrics=True):
+            with pytest.raises(ValueError, match="not declared"):
+                obs.counter("made.up_total")
+
+    def test_metric_kind_mismatch_raises(self):
+        with obs.use(metrics=True):
+            with pytest.raises(ValueError, match="declared as a gauge"):
+                obs.counter("solver.loss")
+
+    def test_disabled_hooks_are_noops(self):
+        # no validation, no recording — one branch and a shared null
+        assert obs.span("solver.bogus_phase") is obs.span("also.bogus")
+        obs.counter("made.up_total").inc()
+        assert obs.values() == {}
+        assert obs.drain_events() == []
+
+    def test_observe_iteration_disabled_is_free(self):
+        class Rec:
+            loss = 1.0
+            seconds = 0.1
+
+        obs.observe_iteration(Rec(), grad=np.ones(4))
+        assert obs.values() == {}
+
+
+class TestSpans:
+    def test_span_records_event_with_parent(self):
+        with obs.use(trace=True):
+            with obs.span("solver.iter", idx=3):
+                assert obs.current_span_name() == "solver.iter"
+                with obs.span("imaging.forward"):
+                    pass
+            events = obs.drain_events()
+        by_name = {ev["name"]: ev for ev in events}
+        assert by_name["imaging.forward"]["parent"] == "solver.iter"
+        assert by_name["solver.iter"]["parent"] is None
+        assert by_name["solver.iter"]["args"] == {"idx": 3}
+        assert by_name["solver.iter"]["dur"] >= by_name["imaging.forward"]["dur"]
+
+    def test_traced_decorator(self):
+        @obs.traced("imaging.vjp")
+        def work(x: int) -> int:
+            return x + 1
+
+        assert work(1) == 2  # disabled: plain call
+        with obs.use(trace=True):
+            assert work(1) == 2
+            (event,) = obs.drain_events()
+        assert event["name"] == "imaging.vjp"
+
+    def test_span_error_annotation(self):
+        with obs.use(trace=True):
+            with pytest.raises(RuntimeError):
+                with obs.span("solver.iter"):
+                    raise RuntimeError("boom")
+            (event,) = obs.drain_events()
+        assert event["error"] == "RuntimeError"
+
+    def test_nesting_across_map_conditions_threads(self):
+        """Worker-thread spans keep their parent via context propagation."""
+
+        def task(i: int) -> int:
+            with obs.span("engine.condition", index=i):
+                time.sleep(0.002)
+            return threading.get_ident()
+
+        main_tid = threading.get_ident()
+        with obs.use(trace=True):
+            with fftlib.use(condition_workers=2, budget=4):
+                with obs.span("engine.conditions"):
+                    tids = fftlib.map_conditions(task, 4)
+            events = obs.drain_events()
+        children = [ev for ev in events if ev["name"] == "engine.condition"]
+        assert len(children) == 4
+        # the fan-out left the caller's thread (the pool holds at least
+        # one worker; on multi-core machines the groups spread further),
+        # yet every child still sees the ambient engine.conditions span
+        # as its parent because map_conditions copies the context per
+        # group
+        assert main_tid not in set(tids)
+        assert {ev["tid"] for ev in children} == set(tids)
+        assert {ev["parent"] for ev in children} == {"engine.conditions"}
+        assert sorted(ev["args"]["index"] for ev in children) == [0, 1, 2, 3]
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_roundtrip(self):
+        with obs.use(metrics=True):
+            obs.counter("imaging.chunks").inc()
+            obs.counter("imaging.chunks").inc(2)
+            obs.gauge("solver.loss").set(0.25)
+            obs.histogram("solver.iter_seconds").observe(0.5)
+            obs.histogram("solver.iter_seconds").observe(1.5)
+            vals = obs.values()
+        assert vals["imaging.chunks"] == 3
+        assert vals["solver.loss"] == 0.25
+        hist = vals["solver.iter_seconds"]
+        assert hist["count"] == 2
+        assert hist["min"] == 0.5 and hist["max"] == 1.5
+        assert hist["mean"] == pytest.approx(1.0)
+
+    def test_observe_iteration_feeds_registry(self):
+        class Rec:
+            loss = 2.5
+            seconds = 0.01
+
+        with obs.use(metrics=True):
+            obs.observe_iteration(Rec(), grad=np.array([3.0, 4.0]))
+            vals = obs.values()
+        assert vals["solver.iterations"] == 1
+        assert vals["solver.loss"] == 2.5
+        assert vals["solver.grad_norm"] == pytest.approx(5.0)
+        assert vals["solver.iter_seconds"]["count"] == 1
+
+    def test_solver_iterations_metered_end_to_end(self):
+        kernels = (np.random.default_rng(0).standard_normal((S, N, N)) * 0.2).astype(
+            complex
+        )
+        weights = np.linspace(1.0, 0.5, S)
+        mask = np.random.default_rng(1).standard_normal((N, N))
+        with obs.use(metrics=True):
+            _imaging_pass(kernels, weights, mask)
+            vals = obs.values()
+        assert vals["imaging.fft2"] >= 1
+        assert vals["imaging.ifft2"] >= 1
+        assert vals["imaging.chunks"] >= 1
+
+
+class TestDisabledOverhead:
+    def test_disabled_hooks_within_two_percent_of_microbench(self):
+        """The per-hook disabled cost, scaled to the hook count of one
+        fused-imaging pass, must stay under 2% of that pass's wall time.
+
+        Measured this way (hook cost x count vs. run time) instead of
+        diffing two timed runs of identical code, which flakes on
+        shared runners.
+        """
+        rng = np.random.default_rng(7)
+        kernels = (
+            rng.standard_normal((S, N, N)) + 1j * rng.standard_normal((S, N, N))
+        ) * 0.3
+        weights = np.linspace(1.0, 0.2, S)
+        mask = rng.standard_normal((3, N, N))
+
+        # count the hooks one instrumented pass fires
+        with obs.use(trace=True, metrics=True):
+            _imaging_pass(kernels, weights, mask)
+            hook_count = len(obs.drain_events()) + sum(
+                v for v in obs.values().values() if isinstance(v, int)
+            )
+        obs.reset_metrics()
+
+        # time the pass with obs disabled (best of 3 for stability)
+        run_s = min(
+            _timed(lambda: _imaging_pass(kernels, weights, mask)) for _ in range(3)
+        )
+
+        # time the disabled hooks themselves, amortized over many calls
+        reps = 2000
+        hook_s = _timed(lambda: _fire_hooks(reps)) / reps
+
+        overhead = hook_s * hook_count
+        assert overhead < 0.02 * run_s, (
+            f"{hook_count} disabled hooks cost {overhead * 1e6:.1f}us "
+            f"vs run {run_s * 1e6:.1f}us"
+        )
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _fire_hooks(reps: int) -> None:
+    for _ in range(reps):
+        with obs.span("fft.chunk"):
+            pass
+        obs.counter("imaging.chunks").inc()
+
+
+class TestChromeTraceExport:
+    def _sample_trace(self):
+        with obs.use(trace=True, metrics=True):
+            with obs.span("harness.cell", label="DS/c0/M"):
+                with obs.span("solver.iter", idx=0):
+                    obs.counter("solver.iterations").inc()
+            trace = obs.chrome_trace(obs.drain_events(), metrics=obs.values())
+        obs.reset_metrics()
+        return trace
+
+    def test_schema_valid_and_json_roundtrips(self):
+        trace = self._sample_trace()
+        parsed = json.loads(json.dumps(trace))
+        assert parsed["displayTimeUnit"] == "ms"
+        events = parsed["traceEvents"]
+        assert all(ev["ph"] in ("X", "M") for ev in events)
+        spans = [ev for ev in events if ev["ph"] == "X"]
+        assert {ev["name"] for ev in spans} == {"harness.cell", "solver.iter"}
+        for ev in spans:
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            assert ev["cat"] in ("harness", "solver")
+        meta = [ev for ev in events if ev["ph"] == "M"]
+        assert any(ev["name"] == "process_name" for ev in meta)
+        assert parsed["otherData"]["metrics"]["solver.iterations"] == 1
+
+    def test_summary_table_renders(self):
+        with obs.use(metrics=True):
+            obs.counter("harness.cells").inc()
+            text = obs.summary_table(obs.snapshot())
+        obs.reset_metrics()
+        assert "harness.cells" in text
+        assert "fftlib" in text
+
+
+class TestConfigForwarding:
+    def test_export_apply_roundtrip(self, tmp_path):
+        with obs.use(trace=True, metrics=True, shard_dir=str(tmp_path)):
+            config = obs.export_config()
+        assert config["trace"] and config["metrics"]
+        assert config["shard_dir"] == str(tmp_path)
+        obs.apply_config(config)
+        try:
+            assert obs.trace_enabled() and obs.metrics_enabled()
+            assert obs.shard_dir() == str(tmp_path)
+        finally:
+            obs.disable()
